@@ -1,0 +1,43 @@
+// Shared helpers for the figure-reproduction benches: output directory,
+// CSV plumbing and console framing.
+#pragma once
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "common/csv.h"
+#include "common/table.h"
+#include "core/experiment.h"
+
+namespace mdsim::bench {
+
+/// Directory all bench CSVs land in (created on demand).
+inline std::string results_dir() {
+  const char* env = std::getenv("MDSIM_RESULTS_DIR");
+  std::string dir = env != nullptr ? env : "bench_results";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+inline std::string csv_path(const std::string& name) {
+  return results_dir() + "/" + name + ".csv";
+}
+
+inline void banner(const std::string& title, const std::string& paper_ref) {
+  std::cout << "\n=====================================================\n"
+            << title << "\n"
+            << paper_ref << "\n"
+            << "=====================================================\n";
+}
+
+/// All five strategies in the paper's legend order.
+inline const std::vector<StrategyKind>& all_strategies() {
+  static const std::vector<StrategyKind> kAll = {
+      StrategyKind::kStaticSubtree, StrategyKind::kDynamicSubtree,
+      StrategyKind::kDirHash, StrategyKind::kLazyHybrid,
+      StrategyKind::kFileHash};
+  return kAll;
+}
+
+}  // namespace mdsim::bench

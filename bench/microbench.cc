@@ -1,0 +1,124 @@
+// Substrate micro-benchmarks (google-benchmark): the building blocks the
+// simulator's wall-clock cost rests on. Not a paper figure — a performance
+// regression harness for the library itself.
+#include <benchmark/benchmark.h>
+
+#include "cache/metadata_cache.h"
+#include "common/rng.h"
+#include "core/cluster.h"
+#include "fstree/generator.h"
+#include "sim/simulation.h"
+#include "storage/btree.h"
+
+namespace mdsim {
+namespace {
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_ZipfSample(benchmark::State& state) {
+  Rng rng(1);
+  ZipfSampler zipf(static_cast<std::size_t>(state.range(0)), 1.1);
+  for (auto _ : state) benchmark::DoNotOptimize(zipf(rng));
+}
+BENCHMARK(BM_ZipfSample)->Arg(100)->Arg(100000);
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Simulation sim;
+    state.ResumeTiming();
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule(static_cast<SimTime>(i * 7 % 997), [] {});
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueChurn);
+
+void BM_BTreeInsert(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    DirBTree tree(32);
+    state.ResumeTiming();
+    for (int i = 0; i < n; ++i) {
+      tree.insert("key" + std::to_string(i), DirRecord{1, 1, false},
+                  nullptr);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BTreeInsert)->Arg(1000)->Arg(10000);
+
+void BM_BTreeFind(benchmark::State& state) {
+  DirBTree tree(32);
+  for (int i = 0; i < 10000; ++i) {
+    tree.insert("key" + std::to_string(i), DirRecord{1, 1, false}, nullptr);
+  }
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tree.find("key" + std::to_string(rng.uniform(10000)), nullptr));
+  }
+}
+BENCHMARK(BM_BTreeFind);
+
+void BM_CacheLookup(benchmark::State& state) {
+  FsTree tree;
+  FsNode* dir = tree.mkdir(tree.root(), "d");
+  MetadataCache cache(5000);
+  cache.insert(tree.root(), InsertKind::kDemand, true, 0);
+  cache.insert(dir, InsertKind::kPrefix, true, 0);
+  std::vector<InodeId> inos;
+  for (int i = 0; i < 4000; ++i) {
+    FsNode* f = tree.create_file(dir, "f" + std::to_string(i));
+    cache.insert(f, InsertKind::kDemand, true, 0);
+    inos.push_back(f->ino());
+  }
+  Rng rng(5);
+  SimTime now = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cache.lookup(inos[rng.uniform(inos.size())], ++now));
+  }
+}
+BENCHMARK(BM_CacheLookup);
+
+void BM_NamespaceGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    FsTree tree;
+    NamespaceParams params;
+    params.num_users = 32;
+    params.nodes_per_user = 300;
+    generate_namespace(tree, params);
+    benchmark::DoNotOptimize(tree.node_count());
+  }
+}
+BENCHMARK(BM_NamespaceGeneration)->Unit(benchmark::kMillisecond);
+
+void BM_FullSimulationSecond(benchmark::State& state) {
+  // End-to-end cost of one simulated second of a small busy cluster.
+  for (auto _ : state) {
+    SimConfig cfg;
+    cfg.num_mds = 4;
+    cfg.num_clients = 200;
+    cfg.fs.num_users = 32;
+    cfg.fs.nodes_per_user = 200;
+    cfg.duration = kSecond;
+    cfg.warmup = 0;
+    ClusterSim cluster(cfg);
+    cluster.run();
+    benchmark::DoNotOptimize(cluster.metrics().total_replies());
+  }
+}
+BENCHMARK(BM_FullSimulationSecond)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mdsim
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// Namespace inspector: generate a synthetic file-system snapshot, print
+// its shape, and explore how the partitioning strategies would carve it
+// up — without running any simulation.
+//
+//   ./build/examples/namespace_inspector [num_users] [nodes_per_user] [seed]
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "common/csv.h"
+#include "common/table.h"
+#include "fstree/generator.h"
+#include "storage/object_store.h"
+#include "strategy/partition.h"
+
+using namespace mdsim;
+
+int main(int argc, char** argv) {
+  NamespaceParams params;
+  params.num_users = argc > 1 ? std::atoi(argv[1]) : 64;
+  params.nodes_per_user = argc > 2 ? std::atoi(argv[2]) : 400;
+  params.seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 42;
+  params.num_projects = 1;
+  params.project_dir_files = 2000;
+
+  FsTree tree;
+  NamespaceInfo info = generate_namespace(tree, params);
+  const NamespaceShape shape = measure_shape(tree);
+
+  std::cout << "Generated namespace (seed " << params.seed << "):\n"
+            << "  files            : " << shape.files << "\n"
+            << "  directories      : " << shape.dirs << "\n"
+            << "  mean depth       : " << fmt_double(shape.mean_depth, 2)
+            << "\n"
+            << "  max depth        : " << shape.max_depth << "\n"
+            << "  mean dir size    : " << fmt_double(shape.mean_dir_size, 1)
+            << " entries\n"
+            << "  largest dir      : " << shape.max_dir_size << " entries\n"
+            << "  hard links       : " << tree.remote_links().size() << "\n";
+
+  // Show a sample path and its B+tree directory object.
+  FsNode* sample = tree.files()[tree.files().size() / 3];
+  std::cout << "\nSample file: " << sample->path() << " (ino "
+            << sample->ino() << ", depth " << sample->depth() << ")\n";
+  ObjectStore store;
+  FsNode* dir = sample->parent();
+  std::cout << "Its directory object: " << dir->child_count()
+            << " dentries in " << store.full_fetch_nodes(dir)
+            << " B+tree nodes (one disk transaction fetches all of them, "
+               "embedded inodes included)\n";
+
+  // How would each strategy distribute this namespace over 8 servers?
+  constexpr int kMds = 8;
+  ConsoleTable table({"strategy", "min items", "max items", "imbalance",
+                      "sample file lives on"});
+  for (StrategyKind k :
+       {StrategyKind::kStaticSubtree, StrategyKind::kDirHash,
+        StrategyKind::kFileHash, StrategyKind::kLazyHybrid}) {
+    auto partition = make_partitioner(k, kMds, tree);
+    std::map<MdsId, std::uint64_t> counts;
+    for (MdsId m = 0; m < kMds; ++m) counts[m] = 0;
+    tree.visit([&](FsNode* n) { ++counts[partition->authority_of(n)]; });
+    std::uint64_t mn = ~0ULL, mx = 0;
+    for (const auto& [_, c] : counts) {
+      mn = std::min(mn, c);
+      mx = std::max(mx, c);
+    }
+    table.add_row({strategy_name(k), std::to_string(mn), std::to_string(mx),
+                   fmt_double(static_cast<double>(mx) /
+                                  std::max<std::uint64_t>(1, mn),
+                              2),
+                   "mds " + std::to_string(partition->authority_of(sample))});
+  }
+  table.print("Metadata distribution across 8 MDS nodes");
+  std::cout << "\nSubtree partitions are coarse (hash a few top dirs, so "
+               "imbalance follows subtree sizes); file hashing is almost "
+               "perfectly uniform — the paper's trade-off between balance "
+               "and locality in one table.\n";
+  return 0;
+}

@@ -1,0 +1,232 @@
+#include "cache/metadata_cache.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace mdsim {
+
+MetadataCache::MetadataCache(std::size_t capacity, bool enforce_tree)
+    : capacity_(capacity), enforce_tree_(enforce_tree) {
+  assert(capacity_ > 0);
+}
+
+CacheEntry* MetadataCache::peek(InodeId ino) {
+  auto it = entries_.find(ino);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+const CacheEntry* MetadataCache::peek(InodeId ino) const {
+  auto it = entries_.find(ino);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+CacheEntry* MetadataCache::lookup(InodeId ino, SimTime now,
+                                  bool count_stats) {
+  auto it = entries_.find(ino);
+  if (it == entries_.end()) {
+    if (count_stats) ++stats_.misses;
+    return nullptr;
+  }
+  if (count_stats) ++stats_.hits;
+  CacheEntry& e = it->second;
+  e.popularity.hit(now);
+  promote(e);
+  return &e;
+}
+
+void MetadataCache::promote(CacheEntry& e) {
+  if (e.in_probation) {
+    probation_.erase(e.lru_it);
+    main_.push_front(e.node->ino());
+    e.lru_it = main_.begin();
+    e.in_probation = false;
+  } else {
+    main_.splice(main_.begin(), main_, e.lru_it);
+  }
+}
+
+void MetadataCache::mark_demand(CacheEntry& e) {
+  if (e.prefix) {
+    e.prefix = false;
+    if (e.node->is_dir()) {
+      assert(prefix_count_ > 0);
+      --prefix_count_;
+    }
+  }
+}
+
+CacheEntry* MetadataCache::insert(FsNode* node, InsertKind kind,
+                                  bool authoritative, SimTime now) {
+  assert(node != nullptr);
+  auto it = entries_.find(node->ino());
+  if (it != entries_.end()) {
+    // Refresh: an existing entry absorbs the stronger semantics.
+    CacheEntry& e = it->second;
+    if (kind == InsertKind::kDemand) {
+      mark_demand(e);
+      e.popularity.hit(now);
+      promote(e);
+    }
+    if (authoritative && !e.authoritative) {
+      e.authoritative = true;
+      assert(replica_count_ > 0);
+      --replica_count_;
+    }
+    e.version = node->inode().version;
+    return &e;
+  }
+
+  CacheEntry e;
+  e.node = node;
+  e.authoritative = authoritative;
+  e.prefix = (kind != InsertKind::kDemand);
+  e.version = node->inode().version;
+  if (kind == InsertKind::kDemand) e.popularity.hit(now);
+
+  if (enforce_tree_ && node->parent() != nullptr) {
+    e.anchor_parent = node->parent()->ino();
+    auto pit = entries_.find(e.anchor_parent);
+    assert(pit != entries_.end() &&
+           "tree invariant: parent must be cached before child");
+    ++pit->second.cached_children;
+  }
+
+  if (kind == InsertKind::kPrefetch) {
+    probation_.push_front(node->ino());
+    e.lru_it = probation_.begin();
+    e.in_probation = true;
+  } else {
+    main_.push_front(node->ino());
+    e.lru_it = main_.begin();
+    e.in_probation = false;
+  }
+
+  auto [nit, inserted] = entries_.emplace(node->ino(), std::move(e));
+  assert(inserted);
+  ++stats_.insertions;
+  if (nit->second.prefix && node->is_dir()) ++prefix_count_;
+  if (!authoritative) ++replica_count_;
+
+  // Pin the new entry through capacity enforcement so it survives its own
+  // insertion even if everything else is unevictable.
+  ++nit->second.pins;
+  enforce_capacity();
+  --nit->second.pins;
+  return &nit->second;
+}
+
+void MetadataCache::evict_one_from(std::list<InodeId>& lru) {
+  // Scan from the LRU end, skipping unevictable entries (pinned, or
+  // directories anchoring cached children).
+  for (auto rit = lru.rbegin(); rit != lru.rend(); ++rit) {
+    auto it = entries_.find(*rit);
+    assert(it != entries_.end());
+    if (!it->second.evictable()) continue;
+    remove_entry(it, /*evicted=*/true);
+    return;
+  }
+}
+
+void MetadataCache::enforce_capacity() {
+  // Probation first, then main; stop when at capacity or nothing can go.
+  while (entries_.size() > capacity_) {
+    const std::size_t before = entries_.size();
+    if (!probation_.empty()) evict_one_from(probation_);
+    if (entries_.size() == before && !main_.empty()) evict_one_from(main_);
+    if (entries_.size() == before) break;  // everything pinned: overflow
+  }
+}
+
+void MetadataCache::remove_entry(
+    std::unordered_map<InodeId, CacheEntry>::iterator it, bool evicted) {
+  CacheEntry& e = it->second;
+  assert(e.cached_children == 0 && "cannot remove an entry with children");
+  if (enforce_tree_ && e.anchor_parent != kInvalidInode) {
+    auto pit = entries_.find(e.anchor_parent);
+    if (pit != entries_.end()) {
+      assert(pit->second.cached_children > 0);
+      --pit->second.cached_children;
+    }
+  }
+  if (e.prefix && e.node->is_dir()) {
+    assert(prefix_count_ > 0);
+    --prefix_count_;
+  }
+  if (!e.authoritative) {
+    assert(replica_count_ > 0);
+    --replica_count_;
+  }
+  if (e.in_probation) {
+    probation_.erase(e.lru_it);
+  } else {
+    main_.erase(e.lru_it);
+  }
+  if (evicted) {
+    ++stats_.evictions;
+    if (on_evict_) on_evict_(e);
+  }
+  entries_.erase(it);
+}
+
+bool MetadataCache::erase(InodeId ino) {
+  auto it = entries_.find(ino);
+  if (it == entries_.end()) return false;
+  // Entries anchoring cached children or referenced by in-flight requests
+  // must stay; they drain through normal eviction once released.
+  if (it->second.cached_children > 0 || it->second.pins > 0) return false;
+  remove_entry(it, /*evicted=*/false);
+  return true;
+}
+
+void MetadataCache::for_each(const std::function<void(CacheEntry&)>& fn) {
+  for (auto& [_, e] : entries_) fn(e);
+}
+
+std::string MetadataCache::check_invariants() const {
+  std::ostringstream err;
+  std::size_t prefixes = 0;
+  std::size_t replicas = 0;
+  std::unordered_map<InodeId, std::uint32_t> child_counts;
+  for (const auto& [ino, e] : entries_) {
+    if (e.node->ino() != ino) {
+      err << "entry key mismatch for ino " << ino;
+      return err.str();
+    }
+    if (e.prefix && e.node->is_dir()) ++prefixes;
+    if (!e.authoritative) ++replicas;
+    if (enforce_tree_ && e.anchor_parent != kInvalidInode) {
+      if (entries_.count(e.anchor_parent) == 0) {
+        err << "tree invariant violated: anchor parent of " << e.node->path()
+            << " not cached";
+        return err.str();
+      }
+      ++child_counts[e.anchor_parent];
+    }
+  }
+  if (prefixes != prefix_count_) {
+    err << "prefix count drift: " << prefixes << " vs " << prefix_count_;
+    return err.str();
+  }
+  if (replicas != replica_count_) {
+    err << "replica count drift: " << replicas << " vs " << replica_count_;
+    return err.str();
+  }
+  if (enforce_tree_) {
+    for (const auto& [ino, e] : entries_) {
+      const std::uint32_t expect =
+          child_counts.count(ino) ? child_counts.at(ino) : 0;
+      if (e.cached_children != expect) {
+        err << "cached_children drift on ino " << ino << ": "
+            << e.cached_children << " vs " << expect;
+        return err.str();
+      }
+    }
+  }
+  if (main_.size() + probation_.size() != entries_.size()) {
+    err << "LRU list size mismatch";
+    return err.str();
+  }
+  return {};
+}
+
+}  // namespace mdsim

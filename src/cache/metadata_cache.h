@@ -1,0 +1,178 @@
+// Per-MDS metadata cache.
+//
+// Implements the caching rules of paper section 4.1/4.5:
+//  * Tree invariant — "each MDS caches prefix inodes for all items in the
+//    cache, such that at any point the cached subset of the hierarchy
+//    remains a tree structure. Only leaf items may be expired; directories
+//    may not be removed until items contained within them are expired
+//    first." Enforced with per-entry cached-child counts; entries with
+//    cached children are not evictable.
+//  * Prefetch placement — "prefetched metadata is inserted near the tail of
+//    the cache's LRU list to avoid displacing known useful information."
+//    Realized as a two-segment LRU: prefetched entries enter a probation
+//    segment that is evicted before the main segment; a hit promotes to the
+//    main MRU position.
+//  * Popularity — every entry carries a decayed access counter (the traffic
+//    control metric of section 4.4).
+//
+// The cache also keeps the accounting behind Figures 3 and 4: which entries
+// are prefix inodes (cached only to anchor descendants / path traversal)
+// and replica-vs-authority counts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <unordered_map>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "fstree/tree.h"
+
+namespace mdsim {
+
+enum class InsertKind : std::uint8_t {
+  kDemand,    // fetched because a request needed this item itself
+  kPrefix,    // cached to anchor traversal (ancestor directory)
+  kPrefetch,  // speculatively loaded with its directory (embedded inodes)
+};
+
+struct CacheEntry {
+  FsNode* node = nullptr;
+  bool authoritative = true;  // false => replica of another MDS's item
+  bool prefix = true;         // true while only serving as a path prefix
+  std::uint32_t pins = 0;     // in-flight requests referencing this entry
+  std::uint32_t cached_children = 0;
+  /// Parent inode at insertion time. Child accounting uses this, not the
+  /// live tree: a rename may reparent the node while it is cached, and
+  /// the increment/decrement pair must hit the same entry.
+  InodeId anchor_parent = kInvalidInode;
+  std::uint64_t version = 0;  // inode version this copy reflects
+  /// Directories only: all children are currently cached (set by a
+  /// whole-directory fetch; cleared when any child is evicted). Lets a
+  /// readdir be served without touching disk.
+  bool complete = false;
+  DecayCounter popularity;
+
+  // LRU bookkeeping (managed by MetadataCache).
+  std::list<InodeId>::iterator lru_it;
+  bool in_probation = false;
+
+  bool evictable() const { return pins == 0 && cached_children == 0; }
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t insertions = 0;
+
+  double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total > 0 ? static_cast<double>(hits) / static_cast<double>(total)
+                     : 0.0;
+  }
+};
+
+class MetadataCache {
+ public:
+  using EvictCallback = std::function<void(const CacheEntry&)>;
+
+  /// `capacity` in items. If `enforce_tree` is false, the parent-chain
+  /// invariant is skipped (Lazy Hybrid does not keep prefixes at all).
+  MetadataCache(std::size_t capacity, bool enforce_tree = true);
+
+  /// Fires whenever an entry is evicted or erased (replica-drop
+  /// notification hook for the coherence layer).
+  void set_evict_callback(EvictCallback cb) { on_evict_ = std::move(cb); }
+
+  /// Look up an inode; on hit, promotes the entry and bumps popularity.
+  /// Misses/hits are tallied unless `count_stats` is false (internal
+  /// bookkeeping peeks should not skew figure 4).
+  CacheEntry* lookup(InodeId ino, SimTime now, bool count_stats = true);
+
+  /// Peek without promotion or stats.
+  CacheEntry* peek(InodeId ino);
+  const CacheEntry* peek(InodeId ino) const;
+
+  /// Insert (or refresh) an entry. The parent must already be cached when
+  /// the tree invariant is on (except for the root). Inserting may evict
+  /// other entries; the new entry itself is never evicted by its own
+  /// insertion. Returns the entry.
+  CacheEntry* insert(FsNode* node, InsertKind kind, bool authoritative,
+                     SimTime now);
+
+  /// Remove one entry immediately (e.g. after migration export or an
+  /// unlink). Entries with cached children or active pins cannot be
+  /// erased; returns false in that case (they drain via normal eviction).
+  bool erase(InodeId ino);
+
+  void pin(CacheEntry* e) { ++e->pins; }
+  void unpin(CacheEntry* e) {
+    if (e->pins > 0) --e->pins;
+  }
+
+  /// The entry was the direct target of a request (not a traversal
+  /// prefix): clears its prefix status for the figure-3 accounting.
+  void mark_demand_access(CacheEntry* e) { mark_demand(*e); }
+
+  /// Evict down to capacity (called automatically by insert).
+  void enforce_capacity();
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  void set_capacity(std::size_t c) {
+    capacity_ = c;
+    enforce_capacity();
+  }
+
+  const CacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = CacheStats{}; }
+
+  /// Number of cached *directory* inodes held for traversal only —
+  /// "prefix inodes" in the paper's sense (figure 3). Prefetched files
+  /// and demand-accessed directories do not count.
+  std::size_t prefix_count() const { return prefix_count_; }
+  std::size_t replica_count() const { return replica_count_; }
+  /// Fraction of cache occupied by prefix inodes (figure 3's y-axis): a
+  /// directory counts while it anchors cached descendants (path traversal
+  /// runs through it) or was brought in purely as a traversal prefix.
+  /// O(n) scan; called at sampling granularity only.
+  double prefix_fraction() const {
+    if (entries_.empty()) return 0.0;
+    std::size_t prefixes = 0;
+    for (const auto& [_, e] : entries_) {
+      if (e.node->is_dir() && (e.cached_children > 0 || e.prefix)) {
+        ++prefixes;
+      }
+    }
+    return static_cast<double>(prefixes) /
+           static_cast<double>(entries_.size());
+  }
+
+  /// Iterate all entries (migration export, diagnostics).
+  void for_each(const std::function<void(CacheEntry&)>& fn);
+
+  /// Verify the tree invariant and internal accounting; returns an empty
+  /// string when healthy (tests).
+  std::string check_invariants() const;
+
+ private:
+  void promote(CacheEntry& e);
+  void mark_demand(CacheEntry& e);
+  void evict_one_from(std::list<InodeId>& lru);
+  void remove_entry(std::unordered_map<InodeId, CacheEntry>::iterator it,
+                    bool evicted);
+
+  std::size_t capacity_;
+  bool enforce_tree_;
+  EvictCallback on_evict_;
+  std::unordered_map<InodeId, CacheEntry> entries_;
+  std::list<InodeId> main_;       // front = MRU, back = LRU
+  std::list<InodeId> probation_;  // prefetched, evicted first
+  CacheStats stats_;
+  std::size_t prefix_count_ = 0;
+  std::size_t replica_count_ = 0;
+};
+
+}  // namespace mdsim

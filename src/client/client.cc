@@ -1,0 +1,134 @@
+#include "client/client.h"
+
+#include <cassert>
+
+namespace mdsim {
+
+Client::Client(Simulation& sim, Network& net, FsTree& tree,
+               Workload& workload, const Partitioner& partition,
+               const DirFragRegistry& dirfrag, ClientId id, int num_mds,
+               std::uint64_t seed)
+    : sim_(sim),
+      net_(net),
+      tree_(tree),
+      workload_(workload),
+      partition_(partition),
+      dirfrag_(dirfrag),
+      id_(id),
+      num_mds_(num_mds),
+      uid_(static_cast<std::uint32_t>(100 + id)),
+      rng_(seed, 0xc11e47000ULL + static_cast<std::uint64_t>(id)) {}
+
+void Client::start() {
+  addr_ = net_.attach(this);
+  schedule_next();
+}
+
+void Client::schedule_next() {
+  Operation op;
+  const SimTime delay = workload_.next(id_, sim_.now(), rng_, &op);
+  if (delay == kNever) return;  // this client is done
+  sim_.schedule(delay, [this, op]() {
+    // The target may have been unlinked while we were thinking.
+    if (op.target == nullptr || !tree_.alive(op.target)) {
+      schedule_next();
+      return;
+    }
+    issue(op);
+  });
+}
+
+MdsId Client::pick_mds(const Operation& op) {
+  const StrategyTraits traits = traits_for(partition_.kind());
+  if (!traits.client_computes_location) {
+    return locations_.resolve(op.target, rng_, num_mds_);
+  }
+  // Hash strategies: the client knows the placement function.
+  const bool namespace_op = op.op == OpType::kCreate ||
+                            op.op == OpType::kMkdir ||
+                            op.op == OpType::kLink;
+  if (namespace_op) {
+    switch (partition_.kind()) {
+      case StrategyKind::kDirHash:
+        // Dentries live with their directory.
+        return partition_.authority_of(op.target) == kInvalidMds
+                   ? 0
+                   : static_cast<MdsId>(
+                         op.target->path_hash() %
+                         static_cast<std::uint64_t>(num_mds_));
+      case StrategyKind::kFileHash:
+      case StrategyKind::kLazyHybrid:
+        return static_cast<MdsId>(child_path_hash(op.target, op.name) %
+                                  static_cast<std::uint64_t>(num_mds_));
+      default:
+        break;
+    }
+  }
+  return partition_.authority_of(op.target);
+}
+
+void Client::issue(const Operation& op) {
+  auto msg = std::make_unique<ClientRequestMsg>();
+  msg->req_id = next_req_id_++;
+  msg->client = id_;
+  msg->client_addr = addr_;
+  msg->op = op.op;
+  msg->uid = uid_;
+  msg->target = op.target->ino();
+  msg->secondary = op.secondary != nullptr ? op.secondary->ino()
+                                           : kInvalidInode;
+  msg->name = op.name;
+
+  inflight_req_ = msg->req_id;
+  inflight_op_ = op;
+  issued_at_ = sim_.now();
+  ++stats_.ops_issued;
+
+  // Retries distrust cached knowledge: a silent node may be down or the
+  // partition may have moved on, so spray somewhere random and re-learn.
+  MdsId mds;
+  if (attempts_ == 0) {
+    mds = pick_mds(op);
+  } else {
+    mds = static_cast<MdsId>(
+        rng_.uniform(static_cast<std::uint64_t>(num_mds_)));
+  }
+  assert(mds >= 0 && mds < num_mds_);
+  net_.send(addr_, mds, std::move(msg));
+
+  timeout_.cancel();
+  timeout_ = sim_.schedule(request_timeout_, [this]() {
+    if (inflight_req_ == 0) return;  // raced with the reply
+    ++stats_.retries;
+    ++attempts_;
+    if (!tree_.alive(inflight_op_.target)) {
+      // Target vanished while we were waiting: give up on this op.
+      inflight_req_ = 0;
+      attempts_ = 0;
+      ++stats_.ops_failed;
+      schedule_next();
+      return;
+    }
+    issue(inflight_op_);
+  });
+}
+
+void Client::on_message(NetAddr from, MessagePtr msg) {
+  (void)from;
+  if (msg->type != MsgType::kClientReply) return;
+  auto& reply = static_cast<ClientReplyMsg&>(*msg);
+  if (reply.req_id != inflight_req_) return;  // stale (late after a retry)
+  inflight_req_ = 0;
+  attempts_ = 0;
+  timeout_.cancel();
+
+  ++stats_.ops_completed;
+  if (!reply.success) ++stats_.ops_failed;
+  if (reply.hops > 0) ++stats_.forwarded_replies;
+  stats_.latency_seconds.add(to_seconds(sim_.now() - issued_at_));
+  locations_.learn(reply.hints);
+
+  schedule_next();
+}
+
+}  // namespace mdsim

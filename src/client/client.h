@@ -1,0 +1,88 @@
+// Simulated file-system client.
+//
+// Clients are closed-loop: issue a metadata request, wait for the reply,
+// think, repeat (the workload generator controls both the op stream and
+// the pacing). For the subtree strategies, request routing uses the
+// client's location cache (initial ignorance + learned hints); for the
+// hashed strategies the client computes the authority directly, as those
+// systems allow ("clients can locate and contact the responsible MDS
+// directly", section 3.1.2).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "client/location_cache.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "mds/dirfrag.h"
+#include "mds/messages.h"
+#include "net/network.h"
+#include "strategy/partition.h"
+#include "workload/workload.h"
+
+namespace mdsim {
+
+struct ClientStats {
+  std::uint64_t ops_issued = 0;
+  std::uint64_t ops_completed = 0;
+  std::uint64_t ops_failed = 0;
+  std::uint64_t forwarded_replies = 0;  // replies that took >0 MDS hops
+  std::uint64_t retries = 0;            // timeouts (e.g. a failed MDS)
+  Summary latency_seconds;
+};
+
+class Client final : public NetEndpoint {
+ public:
+  Client(Simulation& sim, Network& net, FsTree& tree, Workload& workload,
+         const Partitioner& partition, const DirFragRegistry& dirfrag,
+         ClientId id, int num_mds, std::uint64_t seed);
+
+  /// Attach to the network and schedule the first operation.
+  void start();
+
+  void on_message(NetAddr from, MessagePtr msg) override;
+
+  ClientId id() const { return id_; }
+  NetAddr addr() const { return addr_; }
+  const ClientStats& stats() const { return stats_; }
+  ClientStats& stats() { return stats_; }
+  const LocationCache& locations() const { return locations_; }
+  std::uint32_t uid() const { return uid_; }
+  void set_uid(std::uint32_t uid) { uid_ = uid; }
+
+  /// Unanswered requests are re-issued after this long (to a random node,
+  /// bypassing possibly-stale location knowledge). Failure tolerance; in
+  /// healthy clusters latencies sit far below it.
+  void set_request_timeout(SimTime t) { request_timeout_ = t; }
+
+ private:
+  void schedule_next();
+  void issue(const Operation& op);
+  MdsId pick_mds(const Operation& op);
+
+  Simulation& sim_;
+  Network& net_;
+  FsTree& tree_;
+  Workload& workload_;
+  const Partitioner& partition_;
+  const DirFragRegistry& dirfrag_;
+  ClientId id_;
+  int num_mds_;
+  NetAddr addr_ = kInvalidAddr;
+  std::uint32_t uid_ = 0;
+  Rng rng_;
+  LocationCache locations_;
+  ClientStats stats_;
+
+  std::uint64_t next_req_id_ = 1;
+  std::uint64_t inflight_req_ = 0;  // 0 = idle
+  SimTime issued_at_ = 0;
+  SimTime request_timeout_ = 5 * kSecond;
+  Operation inflight_op_;  // kept for timeout retries
+  int attempts_ = 0;
+  EventHandle timeout_;
+};
+
+}  // namespace mdsim

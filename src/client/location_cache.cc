@@ -1,0 +1,35 @@
+#include "client/location_cache.h"
+
+namespace mdsim {
+
+void LocationCache::learn(const std::vector<LocationHint>& hints) {
+  for (const LocationHint& h : hints) {
+    if (hints_.size() >= capacity_ && hints_.count(h.ino) == 0) {
+      // Cheap pressure valve: drop an arbitrary entry. Client knowledge is
+      // allowed to be lossy — that is the design point.
+      hints_.erase(hints_.begin());
+    }
+    hints_[h.ino] = h;
+  }
+}
+
+const LocationHint* LocationCache::hint_for(InodeId ino) const {
+  auto it = hints_.find(ino);
+  return it == hints_.end() ? nullptr : &it->second;
+}
+
+MdsId LocationCache::resolve(const FsNode* target, Rng& rng,
+                             int num_mds) const {
+  for (const FsNode* n = target; n != nullptr; n = n->parent()) {
+    auto it = hints_.find(n->ino());
+    if (it == hints_.end()) continue;
+    const LocationHint& h = it->second;
+    if (h.replicated_everywhere) {
+      return static_cast<MdsId>(rng.uniform(static_cast<std::uint64_t>(num_mds)));
+    }
+    return h.authority;
+  }
+  return static_cast<MdsId>(rng.uniform(static_cast<std::uint64_t>(num_mds)));
+}
+
+}  // namespace mdsim

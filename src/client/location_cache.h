@@ -1,0 +1,43 @@
+// Client-side metadata location cache (paper sections 4.4 and 5.3.3).
+//
+// Clients of the subtree strategies are initially ignorant of the metadata
+// partition. Every reply carries distribution info for the requested item
+// and its prefixes; the client caches it and directs future requests based
+// on the *deepest known prefix* of the target path. Stale knowledge (after
+// load balancing moved a subtree) produces misdirected requests that the
+// cluster forwards — the overhead measured in Figure 6.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "fstree/tree.h"
+#include "mds/messages.h"
+
+namespace mdsim {
+
+class LocationCache {
+ public:
+  /// `capacity`: max cached hints (simple random-ish eviction beyond it).
+  explicit LocationCache(std::size_t capacity = 65536)
+      : capacity_(capacity) {}
+
+  void learn(const std::vector<LocationHint>& hints);
+
+  /// Pick the MDS to contact for `target`: the hint on the deepest known
+  /// prefix. Replicated-everywhere prefixes resolve to a uniformly random
+  /// node. With no knowledge at all, a random node is chosen (the paper's
+  /// "requests are directed randomly").
+  MdsId resolve(const FsNode* target, Rng& rng, int num_mds) const;
+
+  std::size_t size() const { return hints_.size(); }
+  const LocationHint* hint_for(InodeId ino) const;
+
+ private:
+  std::size_t capacity_;
+  std::unordered_map<InodeId, LocationHint> hints_;
+};
+
+}  // namespace mdsim

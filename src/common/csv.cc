@@ -1,0 +1,88 @@
+#include "common/csv.h"
+
+#include <iomanip>
+#include <iostream>
+#include <stdexcept>
+
+namespace mdsim {
+
+CsvWriter::CsvWriter(const std::string& path, bool echo_stdout)
+    : path_(path), out_(path), echo_(echo_stdout) {
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+}
+
+CsvWriter::~CsvWriter() {
+  if (row_started_) end_row();
+}
+
+std::string CsvWriter::escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::header(std::initializer_list<std::string> cols) {
+  bool first = true;
+  for (const auto& c : cols) {
+    if (!first) row_ << ',';
+    row_ << escape(c);
+    first = false;
+  }
+  row_started_ = true;
+  end_row();
+}
+
+CsvWriter& CsvWriter::field(const std::string& v) {
+  if (row_started_) row_ << ',';
+  row_ << escape(v);
+  row_started_ = true;
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(double v) {
+  if (row_started_) row_ << ',';
+  row_ << std::setprecision(10) << v;
+  row_started_ = true;
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(std::int64_t v) {
+  if (row_started_) row_ << ',';
+  row_ << v;
+  row_started_ = true;
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(std::uint64_t v) {
+  if (row_started_) row_ << ',';
+  row_ << v;
+  row_started_ = true;
+  return *this;
+}
+
+void CsvWriter::end_row() {
+  raw(row_.str());
+  row_.str("");
+  row_.clear();
+  row_started_ = false;
+}
+
+void CsvWriter::raw(const std::string& s) {
+  out_ << s << '\n';
+  if (echo_) std::cout << s << '\n';
+}
+
+std::string fmt_double(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+}  // namespace mdsim

@@ -1,0 +1,155 @@
+// Lightweight statistics primitives used throughout the simulator:
+// counters, running summaries, log-bucketed latency histograms, exponentially
+// decayed rates (the paper's popularity metric), and sampled time series.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mdsim {
+
+/// Running min/max/mean/variance (Welford) over double samples.
+class Summary {
+ public:
+  void add(double x);
+  void merge(const Summary& other);
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double variance() const;
+  double stddev() const { return std::sqrt(variance()); }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Histogram with logarithmically spaced buckets; suited to latencies
+/// spanning microseconds to seconds. Values are in arbitrary units.
+class LogHistogram {
+ public:
+  /// Buckets cover [min_value, max_value] with `buckets_per_decade`
+  /// log-spaced buckets per factor of 10.
+  LogHistogram(double min_value = 1.0, double max_value = 1e10,
+               int buckets_per_decade = 10);
+
+  void add(double value, std::uint64_t count = 1);
+  void merge(const LogHistogram& other);
+
+  std::uint64_t total_count() const { return total_; }
+  double percentile(double p) const;  // p in [0, 100]
+  double mean() const { return total_ ? sum_ / static_cast<double>(total_) : 0.0; }
+
+ private:
+  std::size_t bucket_for(double value) const;
+  double bucket_lower(std::size_t i) const;
+
+  double min_value_;
+  double log_min_;
+  double inv_log_step_;
+  double log_step_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Exponentially decaying counter: the paper's popularity metric ("a simple
+/// access counter whose value decays over time", section 4.4).
+///
+/// value(t) = value(t0) * 2^-((t - t0)/half_life). Decay is applied lazily
+/// on read/update, so idle counters cost nothing.
+class DecayCounter {
+ public:
+  explicit DecayCounter(SimTime half_life = 5 * kSecond)
+      : half_life_(half_life) {}
+
+  void hit(SimTime now, double amount = 1.0) {
+    decay_to(now);
+    value_ += amount;
+  }
+
+  double get(SimTime now) const {
+    const_cast<DecayCounter*>(this)->decay_to(now);
+    return value_;
+  }
+
+  void reset() {
+    value_ = 0.0;
+    last_ = 0;
+  }
+
+  SimTime half_life() const { return half_life_; }
+
+ private:
+  void decay_to(SimTime now) {
+    if (now <= last_) return;
+    const double dt = static_cast<double>(now - last_);
+    const double hl = static_cast<double>(half_life_);
+    value_ *= std::exp2(-dt / hl);
+    last_ = now;
+  }
+
+  SimTime half_life_;
+  SimTime last_ = 0;
+  double value_ = 0.0;
+};
+
+/// A (time, value) series sampled by a periodic probe; backs the paper's
+/// time plots (figures 5-7).
+class TimeSeries {
+ public:
+  void record(SimTime t, double value) { points_.push_back({t, value}); }
+
+  struct Point {
+    SimTime time;
+    double value;
+  };
+
+  const std::vector<Point>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+
+  /// Mean of values with time in [t0, t1).
+  double mean_in(SimTime t0, SimTime t1) const;
+  double max_value() const;
+
+ private:
+  std::vector<Point> points_;
+};
+
+/// Interval rate counter: accumulates event counts and reports the rate
+/// over each sampling window (events/sec), then resets. Backs the
+/// "throughput (ops/sec)" axes in the paper's figures.
+class IntervalRate {
+ public:
+  void add(std::uint64_t n = 1) { count_ += n; }
+
+  /// Closes the window [window_start, now) and returns events/second.
+  double sample(SimTime now) {
+    const SimTime dt = now - window_start_;
+    const double rate =
+        dt > 0 ? static_cast<double>(count_) / to_seconds(dt) : 0.0;
+    count_ = 0;
+    window_start_ = now;
+    return rate;
+  }
+
+  std::uint64_t pending() const { return count_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  SimTime window_start_ = 0;
+};
+
+}  // namespace mdsim

@@ -1,0 +1,44 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <iostream>
+
+namespace mdsim {
+
+ConsoleTable::ConsoleTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void ConsoleTable::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void ConsoleTable::print(const std::string& title) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  if (!title.empty()) std::cout << "\n== " << title << " ==\n";
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::cout << (c ? "  " : "");
+      std::cout << row[c];
+      for (std::size_t pad = row[c].size(); pad < width[c]; ++pad) {
+        std::cout << ' ';
+      }
+    }
+    std::cout << '\n';
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    total += width[c] + (c ? 2 : 0);
+  }
+  std::cout << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace mdsim

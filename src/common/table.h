@@ -1,0 +1,23 @@
+// Console table renderer: the bench binaries print paper-figure data as
+// aligned text tables in addition to CSV files.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mdsim {
+
+class ConsoleTable {
+ public:
+  explicit ConsoleTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Render to stdout with column alignment and a rule under the header.
+  void print(const std::string& title = "") const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mdsim

@@ -1,0 +1,113 @@
+// Fundamental identifier and enum types shared across the simulator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mdsim {
+
+/// Simulated time in nanoseconds since simulation start.
+using SimTime = std::uint64_t;
+
+constexpr SimTime kNanosecond = 1;
+constexpr SimTime kMicrosecond = 1000 * kNanosecond;
+constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+constexpr SimTime kSecond = 1000 * kMillisecond;
+
+constexpr double to_seconds(SimTime t) { return static_cast<double>(t) / 1e9; }
+constexpr SimTime from_seconds(double s) {
+  return static_cast<SimTime>(s * 1e9);
+}
+constexpr SimTime from_millis(double ms) {
+  return static_cast<SimTime>(ms * 1e6);
+}
+constexpr SimTime from_micros(double us) {
+  return static_cast<SimTime>(us * 1e3);
+}
+
+/// Inode number. 0 is invalid; 1 is the filesystem root.
+using InodeId = std::uint64_t;
+constexpr InodeId kInvalidInode = 0;
+constexpr InodeId kRootInode = 1;
+
+/// Index of a metadata server within the cluster [0, cluster_size).
+using MdsId = std::int32_t;
+constexpr MdsId kInvalidMds = -1;
+
+/// Index of a simulated client.
+using ClientId = std::int32_t;
+constexpr ClientId kInvalidClient = -1;
+
+/// Metadata operation types the MDS cluster services (paper section 2.2).
+enum class OpType : std::uint8_t {
+  kStat,     // lookup + getattr on a path
+  kOpen,     // open an existing file (permission check + inode fetch)
+  kClose,    // close a previously opened file
+  kReaddir,  // list a directory (fetches embedded inodes)
+  kCreate,   // create a file in a directory
+  kMkdir,    // create a directory
+  kUnlink,   // remove a file
+  kRmdir,    // remove an (empty) directory
+  kRename,   // move a dentry between directories
+  kChmod,    // change permissions (on files or directories)
+  kSetattr,  // other inode attribute update (mtime, size, ...)
+  kLink,     // create an additional hard link
+};
+
+constexpr const char* op_name(OpType t) {
+  switch (t) {
+    case OpType::kStat: return "stat";
+    case OpType::kOpen: return "open";
+    case OpType::kClose: return "close";
+    case OpType::kReaddir: return "readdir";
+    case OpType::kCreate: return "create";
+    case OpType::kMkdir: return "mkdir";
+    case OpType::kUnlink: return "unlink";
+    case OpType::kRmdir: return "rmdir";
+    case OpType::kRename: return "rename";
+    case OpType::kChmod: return "chmod";
+    case OpType::kSetattr: return "setattr";
+    case OpType::kLink: return "link";
+  }
+  return "?";
+}
+
+/// True if the operation mutates metadata (requires journaling at the
+/// authority and replica invalidation).
+constexpr bool op_is_update(OpType t) {
+  switch (t) {
+    case OpType::kStat:
+    case OpType::kOpen:
+    case OpType::kClose:
+    case OpType::kReaddir:
+      return false;
+    default:
+      return true;
+  }
+}
+
+constexpr int kNumOpTypes = 12;
+
+/// POSIX-ish permission bits, reduced to what the simulation checks.
+struct Perms {
+  std::uint16_t mode = 0755;
+  std::uint32_t uid = 0;
+  std::uint32_t gid = 0;
+
+  bool allows_traverse(std::uint32_t user) const {
+    // Owner gets the owner bits; everyone else the "other" bits.
+    std::uint16_t bits = (user == uid) ? (mode >> 6) : mode;
+    return (bits & 01) != 0;
+  }
+  bool allows_read(std::uint32_t user) const {
+    std::uint16_t bits = (user == uid) ? (mode >> 6) : mode;
+    return (bits & 04) != 0;
+  }
+  bool allows_write(std::uint32_t user) const {
+    std::uint16_t bits = (user == uid) ? (mode >> 6) : mode;
+    return (bits & 02) != 0;
+  }
+  bool operator==(const Perms&) const = default;
+};
+
+}  // namespace mdsim

@@ -1,0 +1,209 @@
+#include "core/cluster.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mdsim {
+
+ClusterSim::ClusterSim(SimConfig config) : config_(std::move(config)) {}
+
+ClusterSim::~ClusterSim() = default;
+
+void ClusterSim::build() {
+  if (built_) return;
+  built_ = true;
+
+  // --- namespace -----------------------------------------------------------
+  ns_info_ = generate_namespace(tree_, config_.fs);
+
+  // --- shared substrates -----------------------------------------------------
+  NetworkParams net_params = config_.net;
+  net_params.seed = config_.seed;
+  net_ = std::make_unique<Network>(sim_, net_params);
+  partition_ = make_partitioner(config_.strategy, config_.num_mds, tree_);
+  dirfrag_ = std::make_unique<DirFragRegistry>(config_.num_mds);
+  if (config_.strategy == StrategyKind::kLazyHybrid) {
+    lazy_ = std::make_unique<LazyHybridManager>(tree_);
+  }
+
+  // Figure 4 knob: cache capacity as a fraction of total metadata.
+  MdsParams mds_params = config_.mds;
+  if (config_.cache_fraction > 0.0) {
+    const double total = static_cast<double>(tree_.node_count());
+    const double per_node =
+        total * config_.cache_fraction / config_.num_mds;
+    mds_params.cache_capacity =
+        std::max<std::size_t>(64, static_cast<std::size_t>(per_node));
+    mds_params.journal_capacity = mds_params.cache_capacity;
+  }
+
+  StrategyTraits traits = traits_for(config_.strategy);
+  if (config_.force_whole_dir_io == 0) traits.whole_directory_io = false;
+  if (config_.force_whole_dir_io == 1) traits.whole_directory_io = true;
+
+  ctx_ = std::make_unique<ClusterContext>(ClusterContext{
+      sim_, *net_, tree_, store_, *partition_, *dirfrag_, anchors_,
+      lazy_.get(), traits, mds_params, config_.num_mds, {}});
+
+  // --- MDS nodes (network addresses == MdsIds, attached first) -----------
+  mds_nodes_.reserve(static_cast<std::size_t>(config_.num_mds));
+  for (MdsId i = 0; i < config_.num_mds; ++i) {
+    auto node = std::make_unique<MdsNode>(*ctx_, i);
+    const NetAddr addr = net_->attach(node.get());
+    assert(addr == i);
+    (void)addr;
+    ctx_->nodes.push_back(node.get());
+    mds_nodes_.push_back(std::move(node));
+  }
+  for (auto& node : mds_nodes_) node->bootstrap();
+
+  // --- workload ----------------------------------------------------------
+  switch (config_.workload) {
+    case WorkloadKind::kGeneral: {
+      auto homes = ns_info_.user_roots;
+      workload_ = std::make_unique<GeneralWorkload>(
+          tree_, std::move(homes), OpMix::general_purpose(),
+          config_.general);
+      break;
+    }
+    case WorkloadKind::kScientific: {
+      std::vector<FsNode*> runs;
+      for (FsNode* proj : ns_info_.project_roots) {
+        for (const auto& [_, child] : proj->children()) {
+          if (child->is_dir()) runs.push_back(child.get());
+        }
+      }
+      if (runs.empty()) runs = ns_info_.user_roots;  // degenerate config
+      workload_ = std::make_unique<ScientificWorkload>(
+          tree_, std::move(runs), config_.scientific);
+      break;
+    }
+    case WorkloadKind::kFlashCrowd: {
+      // A deterministic, unremarkable file: the crowd's shared target.
+      assert(!tree_.files().empty());
+      FsNode* target =
+          tree_.files()[config_.seed % tree_.files().size()];
+      workload_ = std::make_unique<FlashCrowdWorkload>(tree_, target,
+                                                       config_.flash);
+      break;
+    }
+    case WorkloadKind::kShifting: {
+      auto* subtree = dynamic_cast<SubtreePartition*>(partition_.get());
+      assert(subtree != nullptr &&
+             "shifting workload requires a subtree strategy");
+      ShiftingWorkloadParams sp = config_.shifting;
+      sp.base = config_.general;
+      workload_ = make_shifting_workload(tree_, ns_info_.user_roots,
+                                         *subtree, sp);
+      break;
+    }
+  }
+
+  // --- clients -------------------------------------------------------------
+  clients_.reserve(static_cast<std::size_t>(config_.num_clients));
+  for (ClientId c = 0; c < config_.num_clients; ++c) {
+    clients_.push_back(std::make_unique<Client>(
+        sim_, *net_, tree_, *workload_, *partition_, *dirfrag_, c,
+        config_.num_mds, config_.seed));
+    // Align each client with the user whose home it primarily works in,
+    // so permission checks reflect ownership.
+    if (config_.fs.num_users > 0) {
+      clients_.back()->set_uid(
+          100 + static_cast<std::uint32_t>(c % config_.fs.num_users));
+    }
+    clients_.back()->set_request_timeout(config_.client_request_timeout);
+  }
+
+  // --- metrics -------------------------------------------------------------
+  std::vector<MdsNode*> node_ptrs;
+  for (auto& n : mds_nodes_) node_ptrs.push_back(n.get());
+  std::vector<Client*> client_ptrs;
+  for (auto& c : clients_) client_ptrs.push_back(c.get());
+  metrics_ = std::make_unique<Metrics>(std::move(node_ptrs),
+                                       std::move(client_ptrs));
+}
+
+void ClusterSim::run_until(SimTime t) {
+  build();
+  if (!started_) {
+    started_ = true;
+    for (auto& c : clients_) c->start();
+    sim_.every(config_.sample_period, config_.sample_period,
+               [this]() {
+                 metrics_->sample(sim_.now());
+                 return true;
+               });
+    if (config_.warmup > 0) {
+      sim_.schedule(config_.warmup, [this]() {
+        metrics_->reset(sim_.now());
+        net_->reset_counters();
+      });
+    }
+  }
+  sim_.run_until(t);
+}
+
+void ClusterSim::run() { run_until(config_.duration); }
+
+void ClusterSim::fail_mds(MdsId failed, bool warm_takeover) {
+  build();
+  assert(failed >= 0 && failed < config_.num_mds && config_.num_mds > 1);
+  MdsNode& dead = mds(failed);
+  dead.set_failed(true);
+  net_->set_down(failed, true);
+
+  std::vector<MdsId> survivors;
+  for (MdsId i = 0; i < config_.num_mds; ++i) {
+    if (i == failed || mds(i).failed()) continue;
+    survivors.push_back(i);
+    mds(i).mark_peer_down(failed);
+  }
+  assert(!survivors.empty());
+
+  // Redistribute the dead node's territory (subtree strategies; hashed
+  // placements would re-map their hash ranges, which is exactly the
+  // expansion/contraction weakness the paper describes — out of scope).
+  auto* subtree = dynamic_cast<SubtreePartition*>(partition_.get());
+  std::vector<MdsId> takeover_nodes;
+  if (subtree != nullptr) {
+    std::size_t rr = 0;
+    for (const FsNode* root : subtree->delegations_of(failed)) {
+      const MdsId heir = survivors[rr++ % survivors.size()];
+      subtree->delegate(root, heir);
+      takeover_nodes.push_back(heir);
+    }
+    if (subtree->authority_of(tree_.root()) == failed) {
+      subtree->delegate(tree_.root(), survivors.front());
+      takeover_nodes.push_back(survivors.front());
+    }
+  }
+  if (takeover_nodes.empty()) takeover_nodes.push_back(survivors.front());
+
+  if (warm_takeover) {
+    // The failed node's journal lives on shared storage: every takeover
+    // node replays it and installs the items it now owns (section 4.6).
+    std::sort(takeover_nodes.begin(), takeover_nodes.end());
+    takeover_nodes.erase(
+        std::unique(takeover_nodes.begin(), takeover_nodes.end()),
+        takeover_nodes.end());
+    const auto working_set = dead.journal().replay();
+    for (MdsId heir : takeover_nodes) {
+      mds(heir).warm_from_journal(working_set);
+    }
+  }
+}
+
+void ClusterSim::recover_mds(MdsId node) {
+  build();
+  MdsNode& n = mds(node);
+  assert(n.failed());
+  n.clear_cache_for_rejoin();
+  n.set_failed(false);
+  net_->set_down(node, false);
+  for (MdsId i = 0; i < config_.num_mds; ++i) {
+    if (i == node || mds(i).failed()) continue;
+    mds(i).mark_peer_up(node);
+  }
+}
+
+}  // namespace mdsim

@@ -1,0 +1,81 @@
+// Cluster builder and run driver: wires the ground-truth namespace, the
+// shared substrates (object store, partition, anchors, dirfrag, network),
+// the MDS nodes, the workload, and the client population, then runs the
+// simulation while sampling metrics.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "client/client.h"
+#include "core/config.h"
+#include "core/metrics.h"
+#include "mds/mds_node.h"
+#include "workload/workload.h"
+
+namespace mdsim {
+
+class ClusterSim {
+ public:
+  explicit ClusterSim(SimConfig config);
+  ~ClusterSim();
+  ClusterSim(const ClusterSim&) = delete;
+  ClusterSim& operator=(const ClusterSim&) = delete;
+
+  /// Run to config.duration (builds lazily on first call).
+  void run();
+  /// Run to an arbitrary time (tests drive the simulation piecewise).
+  void run_until(SimTime t);
+
+  /// Failure injection (paper sections 2.1.2 and 4.6): take an MDS off
+  /// the network, redistribute its delegations to the survivors, and —
+  /// if `warm_takeover` — have the takeover nodes replay the failed
+  /// node's bounded journal from shared storage to preload their caches
+  /// with its working set.
+  void fail_mds(MdsId failed, bool warm_takeover = true);
+  /// Bring a failed MDS back (cold: it dropped its cache, having missed
+  /// invalidations while down). The balancer re-populates it over time.
+  void recover_mds(MdsId node);
+
+  const SimConfig& config() const { return config_; }
+  Simulation& sim() { return sim_; }
+  FsTree& tree() { return tree_; }
+  Network& network() { return *net_; }
+  Partitioner& partition() { return *partition_; }
+  DirFragRegistry& dirfrag() { return *dirfrag_; }
+  ObjectStore& object_store() { return store_; }
+  AnchorTable& anchors() { return anchors_; }
+  LazyHybridManager* lazy() { return lazy_.get(); }
+  Workload& workload() { return *workload_; }
+  const NamespaceInfo& namespace_info() const { return ns_info_; }
+
+  MdsNode& mds(int i) { return *mds_nodes_[static_cast<std::size_t>(i)]; }
+  int num_mds() const { return config_.num_mds; }
+  Client& client(int i) { return *clients_[static_cast<std::size_t>(i)]; }
+  int num_clients() const { return static_cast<int>(clients_.size()); }
+
+  Metrics& metrics() { return *metrics_; }
+
+ private:
+  void build();
+
+  SimConfig config_;
+  Simulation sim_;
+  FsTree tree_;
+  NamespaceInfo ns_info_;
+  ObjectStore store_;
+  AnchorTable anchors_;
+  std::unique_ptr<Network> net_;
+  std::unique_ptr<Partitioner> partition_;
+  std::unique_ptr<DirFragRegistry> dirfrag_;
+  std::unique_ptr<LazyHybridManager> lazy_;
+  std::unique_ptr<ClusterContext> ctx_;
+  std::vector<std::unique_ptr<MdsNode>> mds_nodes_;
+  std::unique_ptr<Workload> workload_;
+  std::vector<std::unique_ptr<Client>> clients_;
+  std::unique_ptr<Metrics> metrics_;
+  bool built_ = false;
+  bool started_ = false;
+};
+
+}  // namespace mdsim

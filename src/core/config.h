@@ -1,0 +1,91 @@
+// Top-level simulation configuration and per-experiment presets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fstree/generator.h"
+#include "mds/params.h"
+#include "net/network.h"
+#include "strategy/partition.h"
+#include "workload/flash_crowd.h"
+#include "workload/general.h"
+#include "workload/scientific.h"
+#include "workload/shifting.h"
+
+namespace mdsim {
+
+enum class WorkloadKind : std::uint8_t {
+  kGeneral,
+  kScientific,
+  kFlashCrowd,
+  kShifting,
+};
+
+constexpr const char* workload_name(WorkloadKind k) {
+  switch (k) {
+    case WorkloadKind::kGeneral: return "general";
+    case WorkloadKind::kScientific: return "scientific";
+    case WorkloadKind::kFlashCrowd: return "flash_crowd";
+    case WorkloadKind::kShifting: return "shifting";
+  }
+  return "?";
+}
+
+struct SimConfig {
+  StrategyKind strategy = StrategyKind::kDynamicSubtree;
+  int num_mds = 4;
+  int num_clients = 120;
+  std::uint64_t seed = 42;
+
+  NamespaceParams fs;
+  MdsParams mds;
+  NetworkParams net;
+
+  WorkloadKind workload = WorkloadKind::kGeneral;
+  GeneralWorkloadParams general;
+  ScientificWorkloadParams scientific;
+  FlashCrowdParams flash;
+  ShiftingWorkloadParams shifting;
+
+  /// If > 0, overrides mds.cache_capacity: the cluster's total cache is
+  /// this fraction of the file system's metadata item count, split evenly
+  /// across nodes (figure 4's x-axis).
+  double cache_fraction = 0.0;
+
+  /// Ablation hook: force whole-directory I/O (embedded-inode prefetch)
+  /// on (1) or off (0) regardless of strategy; -1 keeps the strategy's
+  /// native behaviour.
+  int force_whole_dir_io = -1;
+
+  /// Client request timeout (retry to a random node on silence; only
+  /// reached when a server has failed).
+  SimTime client_request_timeout = 5 * kSecond;
+
+  /// Simulated run length; statistics reset at `warmup`.
+  SimTime duration = 20 * kSecond;
+  SimTime warmup = 4 * kSecond;
+  /// Metrics sampling period (figures 5-7 use finer sampling).
+  SimTime sample_period = kSecond;
+
+  std::string label() const;
+};
+
+/// Figure 2/3 preset: "fixing MDS memory and scaling the entire system:
+/// file system size, number of MDS servers, and client base."
+SimConfig scaled_system_config(StrategyKind strategy, int num_mds,
+                               std::uint64_t seed = 42);
+
+/// Figure 4 preset: fixed cluster, cache capacity expressed as a fraction
+/// of total file-system metadata (set after namespace generation by the
+/// cluster builder via cache_fraction).
+SimConfig cache_sweep_config(StrategyKind strategy, double cache_fraction,
+                             std::uint64_t seed = 42);
+
+/// Figures 5/6 preset: dynamic-vs-static subtree under a workload shift.
+SimConfig shift_config(StrategyKind strategy, std::uint64_t seed = 42);
+
+/// Figure 7 preset: flash crowd with/without traffic control.
+SimConfig flash_crowd_config(bool traffic_control, std::uint64_t seed = 42);
+
+}  // namespace mdsim

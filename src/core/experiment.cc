@@ -1,0 +1,58 @@
+#include "core/experiment.h"
+
+#include <atomic>
+#include <thread>
+
+namespace mdsim {
+
+RunResult run_one(const SimConfig& config,
+                  const std::function<void(ClusterSim&)>& inspect) {
+  ClusterSim cluster(config);
+  cluster.run();
+
+  RunResult r;
+  r.config = config;
+  Metrics& m = cluster.metrics();
+  const SimTime now = cluster.sim().now();
+  r.avg_mds_throughput = m.avg_mds_throughput(now);
+  r.hit_rate = m.cluster_hit_rate();
+  r.prefix_fraction = m.mean_prefix_fraction();
+  r.forward_fraction = m.overall_forward_fraction();
+  r.mean_latency_ms = m.client_latency().mean() * 1e3;
+  r.replies = m.total_replies();
+  r.failures = m.total_failures();
+  if (inspect) inspect(cluster);
+  return r;
+}
+
+std::vector<RunResult> run_batch(const std::vector<SimConfig>& configs,
+                                 unsigned parallelism) {
+  if (parallelism == 0) {
+    parallelism = std::max(1u, std::thread::hardware_concurrency());
+  }
+  std::vector<RunResult> results(configs.size());
+  if (parallelism == 1 || configs.size() == 1) {
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      results[i] = run_one(configs[i]);
+    }
+    return results;
+  }
+
+  std::atomic<std::size_t> next{0};
+  auto worker = [&]() {
+    while (true) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= configs.size()) return;
+      results[i] = run_one(configs[i]);
+    }
+  };
+  std::vector<std::thread> pool;
+  const unsigned n = std::min<unsigned>(
+      parallelism, static_cast<unsigned>(configs.size()));
+  pool.reserve(n);
+  for (unsigned t = 0; t < n; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  return results;
+}
+
+}  // namespace mdsim

@@ -1,0 +1,147 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "client/client.h"
+#include "mds/mds_node.h"
+
+namespace mdsim {
+
+Metrics::Metrics(std::vector<MdsNode*> nodes, std::vector<Client*> clients)
+    : nodes_(std::move(nodes)), clients_(std::move(clients)) {
+  mds_tput_.resize(nodes_.size());
+  base_replies_.assign(nodes_.size(), 0);
+  base_forwards_.assign(nodes_.size(), 0);
+  base_requests_.assign(nodes_.size(), 0);
+  base_failures_.assign(nodes_.size(), 0);
+  base_hits_.assign(nodes_.size(), 0);
+  base_misses_.assign(nodes_.size(), 0);
+}
+
+void Metrics::sample(SimTime now) {
+  double sum = 0.0;
+  double mn = std::numeric_limits<double>::infinity();
+  double mx = 0.0;
+  double fwd_sum = 0.0;
+  double req_sum = 0.0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    MdsStats& s = nodes_[i]->stats();
+    const double tput = s.reply_rate.sample(now);
+    const double fwd = s.forward_rate.sample(now);
+    const double req = s.request_rate.sample(now);
+    s.miss_rate.sample(now);  // keep the window aligned
+    mds_tput_[i].record(now, tput);
+    sum += tput;
+    mn = std::min(mn, tput);
+    mx = std::max(mx, tput);
+    fwd_sum += fwd;
+    req_sum += req;
+  }
+  const double n = static_cast<double>(nodes_.size());
+  avg_tput_.record(now, n > 0 ? sum / n : 0.0);
+  min_tput_.record(now, nodes_.empty() ? 0.0 : mn);
+  max_tput_.record(now, mx);
+  reply_rate_.record(now, sum);
+  forward_rate_.record(now, fwd_sum);
+  fwd_fraction_.record(now, req_sum > 0 ? fwd_sum / req_sum : 0.0);
+}
+
+void Metrics::reset(SimTime now) {
+  reset_at_ = now;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    MdsStats& s = nodes_[i]->stats();
+    base_replies_[i] = s.replies_sent;
+    base_forwards_[i] = s.forwards;
+    base_requests_[i] = s.requests_received;
+    base_failures_[i] = s.failures;
+    base_hits_[i] = nodes_[i]->cache().stats().hits;
+    base_misses_[i] = nodes_[i]->cache().stats().misses;
+    s.reply_rate.sample(now);
+    s.forward_rate.sample(now);
+    s.request_rate.sample(now);
+    s.miss_rate.sample(now);
+  }
+  for (Client* c : clients_) {
+    c->stats().latency_seconds = Summary{};
+  }
+}
+
+double Metrics::avg_mds_throughput(SimTime now) const {
+  if (nodes_.empty() || now <= reset_at_) return 0.0;
+  const double secs = to_seconds(now - reset_at_);
+  double total = 0.0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    total += static_cast<double>(nodes_[i]->stats().replies_sent -
+                                 base_replies_[i]);
+  }
+  return total / secs / static_cast<double>(nodes_.size());
+}
+
+double Metrics::cluster_hit_rate() const {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    hits += nodes_[i]->cache().stats().hits - base_hits_[i];
+    misses += nodes_[i]->cache().stats().misses - base_misses_[i];
+  }
+  const std::uint64_t total = hits + misses;
+  return total > 0 ? static_cast<double>(hits) / static_cast<double>(total)
+                   : 0.0;
+}
+
+double Metrics::mean_prefix_fraction() const {
+  if (nodes_.empty()) return 0.0;
+  double sum = 0.0;
+  for (MdsNode* n : nodes_) sum += n->cache().prefix_fraction();
+  return sum / static_cast<double>(nodes_.size());
+}
+
+double Metrics::mean_cache_fill() const {
+  if (nodes_.empty()) return 0.0;
+  double sum = 0.0;
+  for (MdsNode* n : nodes_) {
+    sum += static_cast<double>(n->cache().size()) /
+           static_cast<double>(n->cache().capacity());
+  }
+  return sum / static_cast<double>(nodes_.size());
+}
+
+double Metrics::overall_forward_fraction() const {
+  std::uint64_t fwd = 0;
+  std::uint64_t req = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    fwd += nodes_[i]->stats().forwards - base_forwards_[i];
+    req += nodes_[i]->stats().requests_received - base_requests_[i];
+  }
+  // Forwarded arrivals are re-counted as received; normalize by original
+  // client submissions.
+  const std::uint64_t original = req > fwd ? req - fwd : 0;
+  return original > 0
+             ? static_cast<double>(fwd) / static_cast<double>(original)
+             : 0.0;
+}
+
+Summary Metrics::client_latency() const {
+  Summary s;
+  for (Client* c : clients_) s.merge(c->stats().latency_seconds);
+  return s;
+}
+
+std::uint64_t Metrics::total_replies() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    total += nodes_[i]->stats().replies_sent - base_replies_[i];
+  }
+  return total;
+}
+
+std::uint64_t Metrics::total_failures() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    total += nodes_[i]->stats().failures - base_failures_[i];
+  }
+  return total;
+}
+
+}  // namespace mdsim

@@ -1,0 +1,74 @@
+// Cluster metrics collection: periodic sampling of per-MDS and
+// cluster-wide rates into time series (figures 5-7) plus end-of-run
+// aggregates (figures 2-4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace mdsim {
+
+class MdsNode;
+class Client;
+
+class Metrics {
+ public:
+  Metrics(std::vector<MdsNode*> nodes, std::vector<Client*> clients);
+
+  /// Take one sample (called by the cluster on its sampling cadence).
+  void sample(SimTime now);
+  /// Zero windowed state at the warmup boundary.
+  void reset(SimTime now);
+
+  // --- time series (per sample) ------------------------------------------
+  const std::vector<TimeSeries>& per_mds_throughput() const {
+    return mds_tput_;
+  }
+  const TimeSeries& avg_throughput() const { return avg_tput_; }
+  const TimeSeries& min_throughput() const { return min_tput_; }
+  const TimeSeries& max_throughput() const { return max_tput_; }
+  /// Cluster-wide replies/sec and forwards/sec (figure 7's two series).
+  const TimeSeries& reply_rate() const { return reply_rate_; }
+  const TimeSeries& forward_rate() const { return forward_rate_; }
+  /// Fraction of client requests that were forwarded (figure 6).
+  const TimeSeries& forward_fraction() const { return fwd_fraction_; }
+
+  // --- end-of-run aggregates ----------------------------------------------
+  /// Mean per-MDS throughput since the last reset (figure 2's y-axis).
+  double avg_mds_throughput(SimTime now) const;
+  /// Aggregate cache hit rate across nodes since the last reset (fig 4).
+  double cluster_hit_rate() const;
+  /// Mean fraction of cache consumed by prefix inodes (figure 3).
+  double mean_prefix_fraction() const;
+  double mean_cache_fill() const;
+  /// Total forwarded / total client requests since reset.
+  double overall_forward_fraction() const;
+  Summary client_latency() const;
+  std::uint64_t total_replies() const;
+  std::uint64_t total_failures() const;
+
+ private:
+  std::vector<MdsNode*> nodes_;
+  std::vector<Client*> clients_;
+
+  std::vector<TimeSeries> mds_tput_;
+  TimeSeries avg_tput_;
+  TimeSeries min_tput_;
+  TimeSeries max_tput_;
+  TimeSeries reply_rate_;
+  TimeSeries forward_rate_;
+  TimeSeries fwd_fraction_;
+
+  SimTime reset_at_ = 0;
+  std::vector<std::uint64_t> base_replies_;
+  std::vector<std::uint64_t> base_forwards_;
+  std::vector<std::uint64_t> base_requests_;
+  std::vector<std::uint64_t> base_failures_;
+  std::vector<std::uint64_t> base_hits_;
+  std::vector<std::uint64_t> base_misses_;
+};
+
+}  // namespace mdsim

@@ -1,0 +1,30 @@
+// Inode record: the metadata payload the MDS cluster manages. In this
+// system inodes are *embedded* in the directory entry that links to them
+// (paper section 4.5), so the on-"disk" unit is (name, inode) pairs stored
+// with their directory.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace mdsim {
+
+enum class FileType : std::uint8_t { kFile, kDirectory };
+
+struct Inode {
+  InodeId ino = kInvalidInode;
+  FileType type = FileType::kFile;
+  Perms perms;
+  std::uint64_t size = 0;
+  SimTime mtime = 0;
+  SimTime ctime = 0;
+  std::uint32_t nlink = 1;
+  /// Monotonically increasing on every mutation; used by the cache
+  /// coherence layer to detect stale replicas.
+  std::uint64_t version = 1;
+
+  bool is_dir() const { return type == FileType::kDirectory; }
+};
+
+}  // namespace mdsim

@@ -1,0 +1,21 @@
+// Slash-separated path utilities (used at the edges of the system: tests,
+// examples, the generator). The simulation hot path works on node pointers
+// and inode ids, not strings.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mdsim {
+
+/// Split "/a/b/c" into {"a","b","c"}. Leading/duplicate slashes ignored.
+std::vector<std::string> split_path(std::string_view path);
+
+/// Join components into "/a/b/c". Empty input yields "/".
+std::string join_path(const std::vector<std::string>& components);
+
+/// True if `prefix` is an ancestor-or-equal path of `path` (component-wise).
+bool path_has_prefix(std::string_view path, std::string_view prefix);
+
+}  // namespace mdsim

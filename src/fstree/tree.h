@@ -1,0 +1,156 @@
+// Ground-truth file system hierarchy shared by the whole simulation.
+//
+// Every MDS node *caches* subsets of this tree (with its own per-item cache
+// state); clients pick operation targets from it. Mutating operations are
+// applied here once the owning MDS commits them, so the tree always reflects
+// the current logical state of the file system.
+//
+// Hard links: each inode has one *primary* dentry (where the inode is
+// embedded, section 4.5). Additional links are remote dentries that name the
+// inode but carry no embedded copy; they resolve through the anchor table.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fstree/inode.h"
+
+namespace mdsim {
+
+class FsTree;
+
+/// A node is a (dentry, embedded inode) pair in the hierarchy.
+class FsNode {
+ public:
+  const std::string& name() const { return name_; }
+  FsNode* parent() const { return parent_; }
+  const Inode& inode() const { return inode_; }
+  Inode& mutable_inode() { return inode_; }
+  bool is_dir() const { return inode_.is_dir(); }
+  InodeId ino() const { return inode_.ino; }
+  std::uint32_t depth() const { return depth_; }
+
+  /// Deterministic hash of the full path, maintained incrementally
+  /// (recomputed for a subtree on rename). Drives the hashed partitioning
+  /// strategies, where metadata location follows the path name.
+  std::uint64_t path_hash() const { return path_hash_; }
+
+  /// Children, ordered by name (directory order on "disk").
+  const std::map<std::string, std::unique_ptr<FsNode>>& children() const {
+    return children_;
+  }
+  std::size_t child_count() const { return children_.size(); }
+  FsNode* child(const std::string& name) const;
+
+  /// Number of nodes in the subtree rooted here (including this node);
+  /// maintained incrementally.
+  std::uint64_t subtree_size() const { return subtree_size_; }
+
+  /// Full path from the root, e.g. "/home/u3/src/a.c".
+  std::string path() const;
+
+  /// Ancestors from the root down to (and including) this node.
+  std::vector<FsNode*> ancestry();
+
+ private:
+  friend class FsTree;
+  std::string name_;
+  FsNode* parent_ = nullptr;
+  Inode inode_;
+  std::uint32_t depth_ = 0;
+  std::uint64_t path_hash_ = 0;
+  std::map<std::string, std::unique_ptr<FsNode>> children_;
+  std::uint64_t subtree_size_ = 1;
+  // Positions in FsTree's sampling vectors (SIZE_MAX = not present).
+  std::size_t file_index_ = SIZE_MAX;
+  std::size_t dir_index_ = SIZE_MAX;
+};
+
+/// Path hash a child of `dir` named `name` *would* have (used by clients
+/// of hashed strategies to locate the authority for a create).
+std::uint64_t child_path_hash(const FsNode* dir, const std::string& name);
+
+/// Extra hard link: a dentry in `dir` with `name` referring to `target`'s
+/// inode (which stays embedded at its primary location).
+struct RemoteLink {
+  FsNode* dir;
+  std::string name;
+  InodeId target;
+};
+
+class FsTree {
+ public:
+  FsTree();
+  FsTree(const FsTree&) = delete;
+  FsTree& operator=(const FsTree&) = delete;
+
+  FsNode* root() const { return root_.get(); }
+
+  // --- Mutations (mirror the MDS update operations) ---------------------
+  /// Returns nullptr if the name exists already.
+  FsNode* create_file(FsNode* dir, const std::string& name,
+                      const Perms& perms = {}, SimTime now = 0);
+  FsNode* mkdir(FsNode* dir, const std::string& name, const Perms& perms = {},
+                SimTime now = 0);
+  /// Removes a file, or an empty directory. Returns false on violation
+  /// (non-empty dir, root, or node has remote links — unlink those first).
+  /// The node object itself is tombstoned, not freed: in-flight requests
+  /// and cache entries elsewhere in the cluster may still reference it
+  /// (the paper's "retain inodes that are deleted while still open").
+  bool remove(FsNode* node);
+  /// Moves `node` under `new_parent` with `new_name`. Fails if the target
+  /// name exists or `new_parent` is inside `node`'s subtree.
+  bool rename(FsNode* node, FsNode* new_parent, const std::string& new_name);
+  void chmod(FsNode* node, const Perms& perms, SimTime now = 0);
+  void touch(FsNode* node, std::uint64_t new_size, SimTime now = 0);
+
+  /// Create an additional hard link (files only). Returns false if the
+  /// name exists.
+  bool link(FsNode* target, FsNode* dir, const std::string& name);
+  const std::vector<RemoteLink>& remote_links() const { return links_; }
+
+  // --- Lookup ------------------------------------------------------------
+  FsNode* lookup(const std::string& path) const;
+  FsNode* by_ino(InodeId ino) const;
+  /// True while `node` is still linked into the hierarchy (not tombstoned).
+  bool alive(const FsNode* node) const {
+    return by_ino(node->ino()) == node;
+  }
+
+  /// True if `ancestor` is on `node`'s parent chain (or equal).
+  static bool is_ancestor_of(const FsNode* ancestor, const FsNode* node);
+
+  // --- Sampling support ----------------------------------------------------
+  /// All regular files / all directories, in unspecified order. Stable
+  /// positions except for swap-removals; suitable for uniform sampling.
+  const std::vector<FsNode*>& files() const { return files_; }
+  const std::vector<FsNode*>& dirs() const { return dirs_; }
+
+  std::uint64_t node_count() const { return node_count_; }
+
+  /// Walk the whole tree depth-first (root included).
+  void visit(const std::function<void(FsNode*)>& fn) const;
+
+ private:
+  FsNode* attach(FsNode* dir, std::unique_ptr<FsNode> node);
+  void index_node(FsNode* node);
+  void unindex_node(FsNode* node);
+  void adjust_subtree_sizes(FsNode* from, std::int64_t delta);
+  void bump_version(FsNode* node, SimTime now);
+
+  std::unique_ptr<FsNode> root_;
+  std::vector<std::unique_ptr<FsNode>> graveyard_;
+  std::unordered_map<InodeId, FsNode*> by_ino_;
+  std::vector<FsNode*> files_;
+  std::vector<FsNode*> dirs_;
+  std::vector<RemoteLink> links_;
+  InodeId next_ino_ = kRootInode + 1;
+  std::uint64_t node_count_ = 0;
+};
+
+}  // namespace mdsim

@@ -1,0 +1,202 @@
+// Load balancer (paper sections 4.3 and 5.1): nodes exchange heartbeat
+// messages carrying a load metric — "a weighted combination of node
+// throughput and cache misses" — and busy nodes re-delegate subtrees to
+// non-busy nodes. "A busy node will initially try to re-delegate entire
+// trees that were delegated to it before delegating subtrees of its
+// workload."
+//
+// The paper is explicit that this prototype algorithm is primitive ("a
+// poor choice for maximizing total cluster throughput, [but] sufficient to
+// show the promise of a dynamic partitioning strategy"); we reproduce that
+// character rather than improving on it. Alternative weightings are
+// exposed through MdsParams for the ablation bench.
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "mds/mds_node.h"
+
+namespace mdsim {
+
+void MdsNode::start_heartbeat() {
+  // Stagger nodes slightly so heartbeats don't synchronize.
+  const SimTime start =
+      ctx_.params.heartbeat_period + from_micros(137) * (id_ + 1);
+  ctx_.sim.every(ctx_.params.heartbeat_period, start, [this]() {
+    heartbeat_tick();
+    return true;
+  });
+}
+
+double MdsNode::compute_load() {
+  const SimTime now = ctx_.sim.now();
+  const SimTime dt = now - bal_prev_time_;
+  if (dt == 0) return last_load_;
+  const double secs = to_seconds(dt);
+  const double ops =
+      static_cast<double>(stats_.replies_sent - bal_prev_replies_) / secs;
+  const double misses =
+      static_cast<double>(cache_.stats().misses - bal_prev_misses_) / secs;
+  bal_prev_time_ = now;
+  bal_prev_replies_ = stats_.replies_sent;
+  bal_prev_misses_ = cache_.stats().misses;
+
+  if (ctx_.params.balancer_metric ==
+      MdsParams::BalancerMetric::kUtilizationVector) {
+    // Bottleneck-resource utilization in [0, ~1] over this window:
+    // whichever of CPU, disk or cache pressure binds the node. Scaled by
+    // 1000 so the thresholds and idle checks behave like the rate metric.
+    const double dts = static_cast<double>(dt);
+    const double cpu =
+        static_cast<double>(cpu_.busy_time() - bal_prev_cpu_busy_) / dts;
+    const double disk =
+        static_cast<double>(disk_.store_busy_time() - bal_prev_disk_busy_) /
+        dts;
+    const double miss_pressure =
+        ops > 1.0 ? std::min(1.0, misses / std::max(ops, 1.0)) : 0.0;
+    bal_prev_cpu_busy_ = cpu_.busy_time();
+    bal_prev_disk_busy_ = disk_.store_busy_time();
+    return 1000.0 * std::max({cpu, disk, miss_pressure});
+  }
+  return ctx_.params.load_weight_throughput * ops +
+         ctx_.params.load_weight_miss * misses;
+}
+
+void MdsNode::heartbeat_tick() {
+  last_load_ = compute_load();
+  peer_loads_[static_cast<std::size_t>(id_)] = last_load_;
+  for (MdsId peer = 0; peer < ctx_.num_mds; ++peer) {
+    if (peer == id_) continue;
+    auto msg = std::make_unique<HeartbeatMsg>();
+    msg->sender = id_;
+    msg->load = last_load_;
+    ctx_.net.send(id_, peer, std::move(msg));
+  }
+  maybe_unreplicate();
+  maybe_rebalance();
+}
+
+void MdsNode::handle_heartbeat(const HeartbeatMsg& m) {
+  if (m.sender >= 0 && static_cast<std::size_t>(m.sender) < peer_loads_.size()) {
+    peer_loads_[static_cast<std::size_t>(m.sender)] = m.load;
+  }
+}
+
+void MdsNode::bump_subtree_load(const FsNode* node) {
+  // Attribute the request to the enclosing delegation point, so the
+  // balancer can judge whole delegated trees.
+  const auto* subtree = dynamic_cast<const SubtreePartition*>(&ctx_.partition);
+  if (subtree == nullptr) return;
+  for (const FsNode* n = node; n != nullptr; n = n->parent()) {
+    if (subtree->is_delegation_point(n) || n->parent() == nullptr) {
+      auto [it, inserted] = subtree_load_.try_emplace(
+          n->ino(), DecayCounter(ctx_.params.popularity_half_life));
+      it->second.hit(ctx_.sim.now());
+      return;
+    }
+  }
+}
+
+void MdsNode::maybe_rebalance() {
+  if (!ctx_.traits.load_balancing) return;
+  if (outbound_ != nullptr) return;
+  const SimTime now = ctx_.sim.now();
+  if (now - last_migration_ < ctx_.params.migration_cooldown) return;
+
+  double mean = 0.0;
+  for (double l : peer_loads_) mean += l;
+  mean /= static_cast<double>(peer_loads_.size());
+  if (mean < 1.0) return;  // idle cluster
+  if (last_load_ <= ctx_.params.balance_trigger * mean) return;
+
+  // Busiest node ships work to the least-busy below-target node.
+  MdsId target = kInvalidMds;
+  double target_load = ctx_.params.balance_target * mean;
+  for (MdsId peer = 0; peer < ctx_.num_mds; ++peer) {
+    if (peer == id_) continue;
+    if (peer_loads_[static_cast<std::size_t>(peer)] < target_load) {
+      target = peer;
+      target_load = peer_loads_[static_cast<std::size_t>(peer)];
+    }
+  }
+  if (target == kInvalidMds) return;
+
+  const double excess_fraction = (last_load_ - mean) / last_load_;
+  FsNode* root = pick_export_subtree(excess_fraction);
+  if (root == nullptr) return;
+  begin_migration(root, target);
+}
+
+FsNode* MdsNode::pick_export_subtree(double excess_fraction) {
+  const SimTime now = ctx_.sim.now();
+  const auto* subtree = dynamic_cast<const SubtreePartition*>(&ctx_.partition);
+  if (subtree == nullptr) return nullptr;
+
+  // Phase 1: whole trees that were delegated to this node, judged by the
+  // per-delegation decayed load counters. Pick the one whose share of our
+  // load is closest to the excess we want to shed.
+  double total = 0.0;
+  for (auto& [ino, counter] : subtree_load_) total += counter.get(now);
+
+  FsNode* best = nullptr;
+  double best_score = 1e300;
+  if (total > 1.0) {
+    for (auto& [ino, counter] : subtree_load_) {
+      if (!imported_.count(ino) &&
+          subtree->delegation_at(ino) != id_) {
+        continue;  // not a tree delegated to us (e.g. default territory)
+      }
+      // Freshly imported trees stay put (no ping-pong).
+      auto iit = imported_.find(ino);
+      if (iit != imported_.end() &&
+          now - iit->second < ctx_.params.min_subtree_residency) {
+        continue;
+      }
+      FsNode* n = ctx_.tree.by_ino(ino);
+      if (n == nullptr || n->parent() == nullptr) continue;  // never the root
+      if (frozen_.count(ino)) continue;
+      const double share = counter.get(now) / total;
+      if (share < 0.02) continue;  // too cold to help
+      const double score = std::abs(share - excess_fraction);
+      if (score < best_score) {
+        best_score = score;
+        best = n;
+      }
+    }
+    if (best != nullptr) return best;
+  }
+
+  // Phase 2: split our own workload — pick the cached authoritative
+  // directory whose traversal popularity best matches the excess. A
+  // directory's popularity counts every request that passed through it,
+  // so it approximates subtree temperature.
+  double total_pop = 0.0;
+  std::vector<std::pair<FsNode*, double>> dirs;
+  cache_.for_each([&](CacheEntry& e) {
+    if (!e.authoritative || !e.node->is_dir()) return;
+    if (e.node->parent() == nullptr) return;
+    const double pop = e.popularity.get(now);
+    if (e.node->depth() == 1) total_pop += pop;
+    if (pop < 1.0) return;
+    if (subtree->is_delegation_point(e.node)) return;  // phase 1 covered
+    if (subtree_frozen(e.node)) return;
+    dirs.emplace_back(e.node, pop);
+  });
+  if (dirs.empty()) return nullptr;
+  if (total_pop < 1.0) {
+    for (auto& [n, p] : dirs) total_pop = std::max(total_pop, p);
+  }
+  best = nullptr;
+  best_score = 1e300;
+  for (auto& [n, pop] : dirs) {
+    const double share = pop / std::max(total_pop, 1.0);
+    const double score = std::abs(share - excess_fraction);
+    if (score < best_score) {
+      best_score = score;
+      best = n;
+    }
+  }
+  return best;
+}
+
+}  // namespace mdsim

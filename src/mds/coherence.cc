@@ -1,0 +1,120 @@
+// Callback-based cache coherence within the MDS cluster (paper section
+// 4.2): each item's authority tracks which peers hold replicas, sends
+// invalidations when the item changes, and is released when a holder
+// discards its copy.
+#include <cassert>
+
+#include "mds/mds_node.h"
+
+namespace mdsim {
+
+void MdsNode::register_replica(InodeId ino, MdsId holder) {
+  if (holder == id_) return;
+  replica_holders_[ino].insert(holder);
+}
+
+void MdsNode::unregister_replica(InodeId ino, MdsId holder) {
+  auto it = replica_holders_.find(ino);
+  if (it == replica_holders_.end()) return;
+  it->second.erase(holder);
+  if (it->second.empty()) replica_holders_.erase(it);
+}
+
+void MdsNode::invalidate_replicas(InodeId ino, bool removed) {
+  auto it = replica_holders_.find(ino);
+  if (it == replica_holders_.end()) return;
+  for (MdsId holder : it->second) {
+    auto msg = std::make_unique<CacheInvalidateMsg>();
+    msg->ino = ino;
+    msg->removed = removed;
+    ++stats_.invalidations_sent;
+    ctx_.net.send(id_, holder, std::move(msg));
+  }
+  replica_holders_.erase(it);
+  replicated_.erase(ino);
+}
+
+void MdsNode::handle_invalidate(const CacheInvalidateMsg& m) {
+  replicated_.erase(m.ino);
+  if (m.whole_subtree) {
+    // A directory moved: every cached descendant is stale (its position,
+    // and under hashing its location, changed). Collect, then drop
+    // deepest-first to respect the cache tree invariant.
+    FsNode* moved = ctx_.tree.by_ino(m.ino);
+    if (moved == nullptr) return;
+    std::vector<CacheEntry*> victims;
+    cache_.for_each([&](CacheEntry& e) {
+      if (e.node != moved && FsTree::is_ancestor_of(moved, e.node)) {
+        victims.push_back(&e);
+      }
+    });
+    std::sort(victims.begin(), victims.end(),
+              [](const CacheEntry* a, const CacheEntry* b) {
+                return a->node->depth() > b->node->depth();
+              });
+    for (CacheEntry* v : victims) {
+      const bool was_replica = !v->authoritative;
+      const InodeId vino = v->node->ino();
+      const MdsId auth = authority_for(v->node);
+      if (cache_.erase(vino) && was_replica && auth != id_) {
+        // Silent drop: the mover already discarded its registry state via
+        // the broadcast; no per-item drop message needed.
+        (void)auth;
+      }
+    }
+    // The moved directory's own entry (if any) stays if authoritative
+    // under the *new* position, else drop it too.
+    CacheEntry* e = cache_.peek(m.ino);
+    if (e != nullptr && !e->authoritative && e->cached_children == 0) {
+      cache_.erase(m.ino);
+    }
+    return;
+  }
+  CacheEntry* e = cache_.peek(m.ino);
+  if (e == nullptr || e->authoritative) return;
+  if (e->cached_children > 0 || e->pins > 0) {
+    // Cannot drop a prefix that anchors cached children: refresh instead
+    // (the authority keeps us registered via the re-fetch below). We model
+    // the refresh as free of I/O — the invalidation carried the update.
+    if (!m.removed) {
+      e->version = e->node->inode().version;
+      // Stay registered at the authority for future updates.
+      const MdsId auth = authority_for(e->node);
+      if (auth != id_) {
+        ctx_.nodes[static_cast<std::size_t>(auth)]->register_replica(
+            m.ino, id_);
+      }
+      return;
+    }
+    // Removed upstream but we still anchor children: keep the tombstone
+    // copy; it will drain as children expire.
+    return;
+  }
+  cache_.erase(m.ino);
+}
+
+void MdsNode::handle_replica_drop(NetAddr from, const ReplicaDropMsg& m) {
+  unregister_replica(m.ino, from);
+}
+
+void MdsNode::on_cache_evict(const CacheEntry& e) {
+  // Keep the parent's readdir completeness honest.
+  if (e.node->parent() != nullptr) {
+    CacheEntry* p = cache_.peek(e.node->parent()->ino());
+    if (p != nullptr) p->complete = false;
+  }
+  replicated_.erase(e.node->ino());
+  if (!e.authoritative) {
+    // Notify the authority so it can stop invalidating us (paper section
+    // 4.2: "if a node discards an inode for which it is not authoritative
+    // from its cache, it will notify the authority").
+    const MdsId auth = authority_for(e.node);
+    if (auth != id_ && auth >= 0) {
+      auto msg = std::make_unique<ReplicaDropMsg>();
+      msg->ino = e.node->ino();
+      ctx_.net.send(id_, auth, std::move(msg));
+    }
+  }
+}
+
+}  // namespace mdsim

@@ -1,0 +1,19 @@
+#include "mds/dirfrag.h"
+
+namespace mdsim {
+
+MdsId DirFragRegistry::dentry_authority(InodeId dir,
+                                        const std::string& name) const {
+  // FNV-1a over the name, seeded by the directory inode number.
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ dir;
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  h ^= h >> 29;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 32;
+  return static_cast<MdsId>(h % static_cast<std::uint64_t>(num_mds_));
+}
+
+}  // namespace mdsim

@@ -1,0 +1,48 @@
+// Dynamic directory fragmentation (paper section 4.3).
+//
+// "If a single directory becomes extraordinarily large or busy ... an
+// individual directory's contents can be hashed across the cluster, such
+// that the authority for a given directory entry is defined by a hash of
+// the file name and the directory inode number. ... we propose that the
+// decision to hash (or unhash) a directory be dynamic."
+//
+// The registry is cluster-shared knowledge (every MDS learns of fragment
+// events via DirFragNotify messages; the shared object models the
+// converged state, which is how the paper's prototype treats the
+// partition itself).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace mdsim {
+
+class DirFragRegistry {
+ public:
+  explicit DirFragRegistry(int num_mds) : num_mds_(num_mds) {}
+
+  bool is_fragmented(InodeId dir) const {
+    return fragmented_.count(dir) != 0;
+  }
+
+  void fragment(InodeId dir) { fragmented_.insert({dir, true}); }
+  void unfragment(InodeId dir) { fragmented_.erase(dir); }
+
+  /// Authority for one dentry of a fragmented directory: hash of the file
+  /// name and the directory inode number.
+  MdsId dentry_authority(InodeId dir, const std::string& name) const;
+
+  std::size_t fragmented_count() const { return fragmented_.size(); }
+
+  std::uint64_t fragment_events = 0;
+  std::uint64_t merge_events = 0;
+
+ private:
+  int num_mds_;
+  std::unordered_map<InodeId, bool> fragmented_;
+};
+
+}  // namespace mdsim

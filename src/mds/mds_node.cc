@@ -1,0 +1,661 @@
+#include "mds/mds_node.h"
+
+#include <cassert>
+
+namespace mdsim {
+
+MdsNode::MdsNode(ClusterContext& ctx, MdsId id)
+    : ctx_(ctx),
+      id_(id),
+      cpu_(ctx.sim, "mds" + std::to_string(id) + ".cpu"),
+      disk_(ctx.sim, ctx.params.disk, "mds" + std::to_string(id)),
+      cache_(ctx.params.cache_capacity,
+             /*enforce_tree=*/ctx.traits.path_traversal),
+      journal_(ctx.params.journal_capacity,
+               [this](InodeId ino) { queue_writeback(ino); }),
+      peer_loads_(static_cast<std::size_t>(ctx.num_mds), 0.0) {
+  cache_.set_evict_callback(
+      [this](const CacheEntry& e) { on_cache_evict(e); });
+}
+
+MdsNode::~MdsNode() = default;
+
+void MdsNode::bootstrap() {
+  // Every node knows the root (paper section 4.4: "the root directory,
+  // which is known to all clients and consequently highly replicated").
+  FsNode* root = ctx_.tree.root();
+  const bool auth = authority_for(root) == id_;
+  CacheEntry* e = cache_.insert(root, InsertKind::kDemand, auth, 0);
+  cache_.pin(e);  // the root never leaves the cache
+  if (!auth) {
+    // Register with the authority directly (bootstrap-time wiring).
+    ctx_.nodes[static_cast<std::size_t>(authority_for(root))]
+        ->register_replica(root->ino(), id_);
+  }
+  if (ctx_.traits.load_balancing) start_heartbeat();
+  if (ctx_.partition.kind() == StrategyKind::kLazyHybrid &&
+      ctx_.lazy != nullptr && id_ == 0) {
+    // One node hosts the background drain pump; updates themselves are
+    // charged to the affected file's authority.
+    lh_drain_tick();
+  }
+}
+
+MdsId MdsNode::authority_for(const FsNode* node) const {
+  // Dynamic directory fragmentation overrides the subtree partition for
+  // dentries of fragmented directories (paper section 4.3).
+  if (ctx_.traits.dynamic_dirfrag && node->parent() != nullptr &&
+      ctx_.dirfrag.is_fragmented(node->parent()->ino())) {
+    return ctx_.dirfrag.dentry_authority(node->parent()->ino(), node->name());
+  }
+  return ctx_.partition.authority_of(node);
+}
+
+void MdsNode::charge_cpu(SimTime amount, std::function<void()> then) {
+  cpu_.submit(amount, std::move(then));
+}
+
+// --------------------------------------------------------------------------
+// Tier-2 writeback batching (paper section 4.6): entries expiring from the
+// bounded journal are flushed to the directory-object store in batches —
+// dentries of one directory share B+tree nodes, so a burst of creates
+// costs one object write per dirty directory, not one transaction each.
+// --------------------------------------------------------------------------
+
+void MdsNode::queue_writeback(InodeId ino) {
+  FsNode* node = ctx_.tree.by_ino(ino);
+  InodeId dir = kInvalidInode;  // bucket for vanished/rootless items
+  if (node != nullptr && node->parent() != nullptr) {
+    dir = node->parent()->ino();
+  }
+  ++writeback_dirs_[dir];
+  if (!writeback_flush_scheduled_) {
+    writeback_flush_scheduled_ = true;
+    ctx_.sim.schedule(from_millis(50), [this]() { flush_writebacks(); });
+  }
+}
+
+void MdsNode::flush_writebacks() {
+  writeback_flush_scheduled_ = false;
+  auto dirty = std::move(writeback_dirs_);
+  writeback_dirs_.clear();
+  for (const auto& [dir, count] : dirty) {
+    // One object write per directory; size grows sub-linearly with the
+    // number of co-located dirty entries (~16 dentries per tree node).
+    const std::uint32_t nodes = 1 + count / 16;
+    disk_.write_object(nodes, []() {});
+  }
+}
+
+// --------------------------------------------------------------------------
+// Message dispatch
+// --------------------------------------------------------------------------
+
+void MdsNode::on_message(NetAddr from, MessagePtr msg) {
+  if (failed_) return;  // dead nodes answer nothing
+  switch (msg->type) {
+    case MsgType::kClientRequest:
+      handle_client_request(std::move(static_cast<ClientRequestMsg&>(*msg)),
+                            from);
+      break;
+    case MsgType::kForwardedRequest: {
+      auto& fwd = static_cast<ForwardMsg&>(*msg);
+      handle_client_request(std::move(fwd.inner), fwd.inner.client_addr);
+      break;
+    }
+    case MsgType::kReplicaRequest:
+      handle_replica_request(from, static_cast<ReplicaRequestMsg&>(*msg));
+      break;
+    case MsgType::kReplicaGrant:
+      handle_replica_grant(from, static_cast<ReplicaGrantMsg&>(*msg));
+      break;
+    case MsgType::kReplicaDrop:
+      handle_replica_drop(from, static_cast<ReplicaDropMsg&>(*msg));
+      break;
+    case MsgType::kCacheInvalidate:
+      handle_invalidate(static_cast<CacheInvalidateMsg&>(*msg));
+      break;
+    case MsgType::kHeartbeat:
+      handle_heartbeat(static_cast<HeartbeatMsg&>(*msg));
+      break;
+    case MsgType::kMigratePrepare:
+      handle_migrate_prepare(from, static_cast<MigratePrepareMsg&>(*msg));
+      break;
+    case MsgType::kMigrateAck:
+      handle_migrate_ack(from, static_cast<MigrateAckMsg&>(*msg));
+      break;
+    case MsgType::kMigrateCommit:
+      handle_migrate_commit(from, static_cast<MigrateCommitMsg&>(*msg));
+      break;
+    case MsgType::kLazyHybridUpdate:
+      handle_lh_update(static_cast<LazyHybridUpdateMsg&>(*msg));
+      break;
+    case MsgType::kDirFragNotify:
+      handle_dirfrag_notify(static_cast<DirFragNotifyMsg&>(*msg));
+      break;
+    case MsgType::kAttrDirty:
+      handle_attr_dirty(from, static_cast<AttrDirtyMsg&>(*msg));
+      break;
+    case MsgType::kAttrFlush:
+      handle_attr_flush(from, static_cast<AttrFlushMsg&>(*msg));
+      break;
+    case MsgType::kAttrCallback:
+      handle_attr_callback(static_cast<AttrCallbackMsg&>(*msg));
+      break;
+    default:
+      break;  // kClientReply: not addressed to an MDS
+  }
+}
+
+// --------------------------------------------------------------------------
+// Client request path
+// --------------------------------------------------------------------------
+
+void MdsNode::handle_client_request(ClientRequestMsg msg, NetAddr reply_to) {
+  ++stats_.requests_received;
+  if (msg.hops == 0) stats_.request_rate.add();
+
+  auto req = std::make_shared<Request>();
+  req->msg = std::move(msg);
+  req->reply_to = reply_to;
+  route(std::move(req));
+}
+
+void MdsNode::route(RequestPtr req) {
+  ClientRequestMsg& m = req->msg;
+  req->target = ctx_.tree.by_ino(m.target);
+  if (req->target == nullptr) {
+    // Target vanished (raced with an unlink) — fail after a cheap check.
+    charge_cpu(ctx_.params.cpu_forward, [this, req]() { fail(req); });
+    return;
+  }
+  if (m.secondary != kInvalidInode) {
+    req->secondary = ctx_.tree.by_ino(m.secondary);
+    if (req->secondary == nullptr) {
+      charge_cpu(ctx_.params.cpu_forward, [this, req]() { fail(req); });
+      return;
+    }
+  }
+
+  // Authority of the governed item. For namespace ops (create/mkdir/
+  // rename-into/link) the governed dentry is (target dir, name): under
+  // directory fragmentation its authority hashes by name.
+  const FsNode* governed = req->target;
+  MdsId auth;
+  const bool namespace_op = m.op == OpType::kCreate ||
+                            m.op == OpType::kMkdir || m.op == OpType::kLink;
+  if (namespace_op && ctx_.traits.dynamic_dirfrag &&
+      ctx_.dirfrag.is_fragmented(req->target->ino())) {
+    auth = ctx_.dirfrag.dentry_authority(req->target->ino(), m.name);
+  } else {
+    auth = authority_for(governed);
+  }
+
+  if (subtree_frozen(req->target)) {
+    // Mid-migration: hold the request until the double-commit resolves.
+    defer(std::move(req));
+    return;
+  }
+
+  if (auth != id_) {
+    // Monotone attribute writes can be absorbed at a replica holder and
+    // shipped to the authority in batches (GPFS-style, section 4.2).
+    if (try_local_attr_update(req)) return;
+    // Not ours. A read can be served from a local replica (collaborative
+    // caching / traffic control); anything else is forwarded.
+    const bool read_op = !op_is_update(m.op);
+    if (read_op && cache_.peek(req->target->ino()) != nullptr) {
+      const SimTime cost =
+          ctx_.params.cpu_request +
+          ctx_.params.cpu_per_component * (req->target->depth() + 1);
+      charge_cpu(cost, [this, req]() { serve(req); });
+      return;
+    }
+    ++stats_.forwards;
+    stats_.forward_rate.add();
+    auto fwd = std::make_unique<ForwardMsg>();
+    fwd->inner = req->msg;
+    ++fwd->inner.hops;
+    charge_cpu(ctx_.params.cpu_forward,
+               [this, to = auth, f = std::make_shared<MessagePtr>(
+                          std::move(fwd))]() mutable {
+                 ctx_.net.send(id_, to, std::move(*f));
+               });
+    return;
+  }
+
+  const SimTime cost =
+      ctx_.params.cpu_request +
+      ctx_.params.cpu_per_component * (req->target->depth() + 1);
+  charge_cpu(cost, [this, req]() { serve(req); });
+}
+
+void MdsNode::serve(RequestPtr req) {
+  req->counts_as_served = true;
+
+  // Build the prefix chain. Lazy Hybrid skips traversal entirely unless
+  // the target's dual-entry ACL is stale (section 3.1.3): a stale item
+  // pays the full scattered traversal once, then is refreshed.
+  const bool lh = !ctx_.traits.path_traversal;
+  bool need_chain = !lh;
+  if (lh && ctx_.lazy != nullptr && ctx_.lazy->is_stale(req->target)) {
+    need_chain = true;
+    ++stats_.lh_traversal_fixups;
+  }
+  if (need_chain) {
+    req->chain = req->target->ancestry();  // root .. target
+    if (!op_is_update(req->msg.op)) {
+      req->chain.pop_back();  // reads handle the target themselves
+    }
+    // Updates keep the target in the chain: the authority must have the
+    // item resident (fetching it if cold) before serializing the change.
+    if (req->secondary != nullptr) {
+      // Rename/link: the second directory's prefixes are needed too.
+      for (FsNode* n : req->secondary->ancestry()) req->chain.push_back(n);
+    }
+  } else if (op_is_update(req->msg.op)) {
+    // Lazy Hybrid update on a fresh item: no prefix traversal, but the
+    // target inode itself must still be resident at its authority.
+    req->chain.push_back(req->target);
+    if (req->secondary != nullptr) req->chain.push_back(req->secondary);
+  }
+  req->chain_idx = 0;
+  advance_traversal(std::move(req));  // falls through to serve_target
+}
+
+void MdsNode::serve_target(RequestPtr req) {
+  ClientRequestMsg& m = req->msg;
+  // The target (or the secondary dir) may have been unlinked by a racing
+  // request while this one sat in the CPU/disk queues.
+  if (!ctx_.tree.alive(req->target) ||
+      (req->secondary != nullptr && !ctx_.tree.alive(req->secondary))) {
+    fail(std::move(req));
+    return;
+  }
+  if (ctx_.lazy != nullptr && !ctx_.traits.path_traversal &&
+      ctx_.lazy->is_stale(req->target)) {
+    // We just traversed the full path for this stale item: refresh its
+    // stored ACL (one journaled update).
+    ctx_.lazy->refresh(req->target);
+    journal_.append(req->target->ino());
+  }
+
+  switch (m.op) {
+    case OpType::kStat:
+    case OpType::kOpen:
+    case OpType::kClose: {
+      FsNode* node = req->target;
+      CacheEntry* e = cache_.lookup(node->ino(), ctx_.sim.now());
+      if (e != nullptr) {
+        cache_.mark_demand_access(e);
+        // Reads must see the latest size/mtime: call in any deltas
+        // absorbed by replica holders first (section 4.2).
+        if (e->authoritative && !node->is_dir() &&
+            gather_remote_attrs(req)) {
+          return;  // resumed when the flushes arrive
+        }
+        finish(req, true, node->ino());
+        return;
+      }
+      stats_.miss_rate.add();
+      // Reads on another node's behalf only happen when we held a
+      // replica at route time; it may have been evicted since — forward.
+      if (authority_for(node) != id_) {
+        ++stats_.forwards;
+        stats_.forward_rate.add();
+        auto fwd = std::make_unique<ForwardMsg>();
+        fwd->inner = req->msg;
+        ++fwd->inner.hops;
+        ctx_.net.send(id_, authority_for(node), std::move(fwd));
+        unpin_all(req);
+        return;
+      }
+      fetch_local(node, InsertKind::kDemand,
+                  [this, req, node](CacheEntry* entry) {
+                    finish(req, entry != nullptr, node->ino());
+                  });
+      return;
+    }
+
+    case OpType::kReaddir: {
+      FsNode* dir = req->target;
+      if (!dir->is_dir()) {
+        fail(req);
+        return;
+      }
+      CacheEntry* e = cache_.lookup(dir->ino(), ctx_.sim.now());
+      if (e != nullptr) cache_.mark_demand_access(e);
+      if (e == nullptr) {
+        stats_.miss_rate.add();
+        fetch_local(dir, InsertKind::kDemand,
+                    [this, req](CacheEntry* entry) {
+                      if (entry == nullptr) {
+                        fail(req);
+                      } else {
+                        serve_target(req);  // re-enter with dir resident
+                      }
+                    });
+        return;
+      }
+      if (ctx_.traits.whole_directory_io) {
+        if (e->complete) {
+          finish(req, true, dir->ino());
+          return;
+        }
+        // One object fetch brings in every dentry + embedded inode.
+        stats_.miss_rate.add();
+        const std::uint32_t nodes = ctx_.store.full_fetch_nodes(dir);
+        pin_entry(req, e);
+        disk_.read_object(nodes, [this, req, dir]() {
+          prefetch_children(dir);
+          CacheEntry* de = cache_.peek(dir->ino());
+          if (de != nullptr) de->complete = true;
+          finish(req, true, dir->ino());
+        });
+        return;
+      }
+      // File-granularity strategies: the dentry list is one object, but
+      // the inodes are scattered — later stats pay per-inode fetches.
+      disk_.read_object(1, [this, req, dir]() {
+        finish(req, true, dir->ino());
+      });
+      return;
+    }
+
+    default:
+      apply_update(std::move(req));
+      return;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Updates: applied at the authority, journaled, replicas invalidated.
+// --------------------------------------------------------------------------
+
+void MdsNode::apply_update(RequestPtr req) {
+  ClientRequestMsg& m = req->msg;
+  const SimTime now = ctx_.sim.now();
+  bool ok = false;
+  InodeId result = kInvalidInode;
+  InodeId journal_ino = m.target;
+
+  switch (m.op) {
+    case OpType::kCreate:
+    case OpType::kMkdir: {
+      FsNode* dir = req->target;
+      if (!dir->is_dir()) break;
+      Perms perms;
+      perms.uid = m.uid;
+      perms.mode = m.op == OpType::kMkdir ? 0755 : 0644;
+      FsNode* created = m.op == OpType::kMkdir
+                            ? ctx_.tree.mkdir(dir, m.name, perms, now)
+                            : ctx_.tree.create_file(dir, m.name, perms, now);
+      if (created == nullptr) break;  // EEXIST
+      ok = true;
+      result = created->ino();
+      journal_ino = created->ino();
+      ctx_.store.apply_create(
+          dir, m.name,
+          DirRecord{created->ino(), created->inode().version,
+                    created->is_dir()});
+      // The new item enters our cache if we also cache its directory
+      // (under dirfrag the dentry authority may not hold the dir inode).
+      if (cache_.peek(dir->ino()) != nullptr) {
+        cache_.insert(created, InsertKind::kDemand, /*authoritative=*/true,
+                      now);
+      }
+      invalidate_replicas(dir->ino(), /*removed=*/false);
+      break;
+    }
+
+    case OpType::kUnlink:
+    case OpType::kRmdir: {
+      FsNode* node = req->target;
+      if (node->is_dir() != (m.op == OpType::kRmdir)) break;
+      FsNode* dir = node->parent();
+      if (dir == nullptr) break;
+      // Drop our cache entry first (it must be childless to unlink —
+      // rmdir requires an empty dir; a cached child would block erase).
+      CacheEntry* e = cache_.peek(node->ino());
+      if (e != nullptr && e->cached_children > 0) break;
+      const std::string name = node->name();
+      if (!ctx_.tree.remove(node)) break;  // nonempty dir / anchored links
+      ok = true;
+      result = node->ino();
+      cache_.erase(node->ino());
+      ctx_.store.apply_remove(dir, name);
+      if (node->is_dir()) ctx_.store.drop(node);
+      invalidate_replicas(node->ino(), /*removed=*/true);
+      invalidate_replicas(dir->ino(), /*removed=*/false);
+      break;
+    }
+
+    case OpType::kRename: {
+      FsNode* node = req->target;
+      FsNode* dst = req->secondary;
+      if (dst == nullptr || !dst->is_dir()) break;
+      FsNode* src_dir = node->parent();
+      if (src_dir == nullptr) break;
+      const std::string old_name = node->name();
+      const bool is_dir = node->is_dir();
+      if (!ctx_.tree.rename(node, dst, m.name)) break;
+      ok = true;
+      result = node->ino();
+      ctx_.store.apply_remove(src_dir, old_name);
+      ctx_.store.apply_create(
+          dst, m.name,
+          DirRecord{node->ino(), node->inode().version, node->is_dir()});
+      invalidate_replicas(src_dir->ino(), /*removed=*/false);
+      invalidate_replicas(dst->ino(), /*removed=*/false);
+      if (is_dir) {
+        // Every descendant changed position (and, under hashing,
+        // location). Anchored links keep resolving through the moved dir.
+        std::vector<InodeId> new_chain;
+        for (FsNode* a = node->parent(); a != nullptr; a = a->parent()) {
+          new_chain.push_back(a->ino());
+        }
+        ctx_.anchors.on_directory_move(node->ino(), new_chain);
+        if (ctx_.lazy != nullptr) {
+          ctx_.lazy->invalidate_subtree(node);
+        } else {
+          // Broadcast: peers drop cached descendants of the moved dir.
+          for (MdsId peer = 0; peer < ctx_.num_mds; ++peer) {
+            if (peer == id_) continue;
+            auto inv = std::make_unique<CacheInvalidateMsg>();
+            inv->ino = node->ino();
+            inv->whole_subtree = true;
+            ++stats_.invalidations_sent;
+            ctx_.net.send(id_, peer, std::move(inv));
+          }
+          // ... including ourselves (entries may now belong elsewhere).
+          CacheInvalidateMsg self_inv;
+          self_inv.ino = node->ino();
+          self_inv.whole_subtree = true;
+          handle_invalidate(self_inv);
+        }
+      } else {
+        invalidate_replicas(node->ino(), /*removed=*/false);
+      }
+      break;
+    }
+
+    case OpType::kChmod: {
+      FsNode* node = req->target;
+      Perms p = node->inode().perms;
+      p.mode = (p.mode == 0700) ? 0755 : 0700;  // toggle private/world
+      ctx_.tree.chmod(node, p, now);
+      ok = true;
+      result = node->ino();
+      invalidate_replicas(node->ino(), /*removed=*/false);
+      if (node->is_dir() && ctx_.lazy != nullptr) {
+        // LH: the effective ACL of every nested item changed.
+        ctx_.lazy->invalidate_subtree(node);
+      }
+      if (node->parent() != nullptr) {
+        ctx_.store.apply_update(
+            node->parent(), node->name(),
+            DirRecord{node->ino(), node->inode().version, node->is_dir()});
+      }
+      break;
+    }
+
+    case OpType::kSetattr: {
+      FsNode* node = req->target;
+      ctx_.tree.touch(node, node->inode().size + 1, now);
+      ok = true;
+      result = node->ino();
+      invalidate_replicas(node->ino(), /*removed=*/false);
+      if (node->parent() != nullptr) {
+        ctx_.store.apply_update(
+            node->parent(), node->name(),
+            DirRecord{node->ino(), node->inode().version, node->is_dir()});
+      }
+      break;
+    }
+
+    case OpType::kLink: {
+      FsNode* target = req->secondary;
+      FsNode* dir = req->target;
+      if (target == nullptr || target->is_dir() || !dir->is_dir()) break;
+      if (!ctx_.tree.link(target, dir, m.name)) break;
+      ok = true;
+      result = target->ino();
+      // Anchor the primary inode so the new remote dentry can find it.
+      std::vector<InodeId> chain;
+      for (FsNode* a = target->parent(); a != nullptr; a = a->parent()) {
+        chain.push_back(a->ino());
+      }
+      ctx_.anchors.anchor(target->ino(), chain);
+      invalidate_replicas(dir->ino(), /*removed=*/false);
+      break;
+    }
+
+    default:
+      break;
+  }
+
+  if (!ok) {
+    fail(req);
+    return;
+  }
+
+  // The target was a direct request subject, not a mere prefix.
+  if (CacheEntry* te = cache_.peek(m.target)) cache_.mark_demand_access(te);
+
+  // Commit to stable storage before replying (the bounded journal).
+  journal_.append(journal_ino);
+  ++stats_.updates_journaled;
+  const InodeId rino = result;
+  disk_.journal_append([this, req, rino]() { finish(req, true, rino); });
+}
+
+// --------------------------------------------------------------------------
+// Completion
+// --------------------------------------------------------------------------
+
+void MdsNode::finish(RequestPtr req, bool success, InodeId result_ino) {
+  if (!success) {
+    fail(std::move(req));
+    return;
+  }
+  note_popularity(req);
+  reply(std::move(req), true, result_ino);
+}
+
+void MdsNode::fail(RequestPtr req) {
+  ++stats_.failures;
+  reply(std::move(req), false, kInvalidInode);
+}
+
+void MdsNode::reply(RequestPtr req, bool success, InodeId result_ino) {
+  unpin_all(req);
+  auto out = std::make_unique<ClientReplyMsg>();
+  out->req_id = req->msg.req_id;
+  out->success = success;
+  out->served_by = id_;
+  out->hops = req->msg.hops;
+  out->result_ino = result_ino;
+  if (success) out->hints = build_hints(req);
+  ++stats_.replies_sent;
+  stats_.reply_rate.add();
+  ctx_.net.send(id_, req->reply_to, std::move(out));
+}
+
+void MdsNode::pin_entry(RequestPtr req, CacheEntry* e) {
+  cache_.pin(e);
+  req->pinned.push_back(e);
+}
+
+void MdsNode::unpin_all(RequestPtr req) {
+  for (CacheEntry* e : req->pinned) cache_.unpin(e);
+  req->pinned.clear();
+}
+
+void MdsNode::mark_peer_down(MdsId peer) {
+  if (peer >= 0 && static_cast<std::size_t>(peer) < peer_loads_.size()) {
+    // Infinite load: never chosen as a migration target.
+    peer_loads_[static_cast<std::size_t>(peer)] = 1e300;
+  }
+}
+
+void MdsNode::mark_peer_up(MdsId peer) {
+  if (peer >= 0 && static_cast<std::size_t>(peer) < peer_loads_.size()) {
+    peer_loads_[static_cast<std::size_t>(peer)] = 0.0;
+  }
+}
+
+void MdsNode::warm_from_journal(const std::vector<InodeId>& working_set) {
+  // One sequential read of the failed node's log region (shared OSD
+  // storage), then install every still-relevant item.
+  const std::uint32_t log_nodes =
+      1 + static_cast<std::uint32_t>(working_set.size() / 16);
+  auto items = std::make_shared<std::vector<InodeId>>(working_set);
+  disk_.read_object(log_nodes, [this, items]() {
+    const SimTime cpu =
+        ctx_.params.cpu_migrate_per_item * items->size();
+    charge_cpu(cpu, [this, items]() {
+      std::uint64_t installed = 0;
+      for (InodeId ino : *items) {
+        FsNode* n = ctx_.tree.by_ino(ino);
+        if (n == nullptr) continue;
+        if (authority_for(n) != id_) continue;  // not ours post-failover
+        cache_insert_anchored(n, InsertKind::kDemand, /*authoritative=*/true);
+        ++installed;
+      }
+      stats_.items_migrated_in += installed;
+    });
+  });
+}
+
+void MdsNode::clear_cache_for_rejoin() {
+  // Evict everything evictable; the pinned root (and anything anchoring
+  // it) survives. The squeeze respects the cache tree invariant.
+  const std::size_t cap = cache_.capacity();
+  cache_.set_capacity(1);
+  cache_.set_capacity(cap);
+  replicated_.clear();
+  replica_holders_.clear();
+  dir_op_temp_.clear();
+  subtree_load_.clear();
+  // Any protocol state from before the outage is void; the clients whose
+  // requests died here have long since timed out and retried.
+  frozen_.clear();
+  deferred_.clear();
+  outbound_.reset();
+  pending_disk_.clear();
+  pending_replica_.clear();
+}
+
+bool MdsNode::migrate_subtree(FsNode* root, MdsId target) {
+  if (outbound_ != nullptr || target == id_ || root == nullptr) return false;
+  if (authority_for(root) != id_) return false;
+  begin_migration(root, target);
+  return outbound_ != nullptr;
+}
+
+std::size_t MdsNode::replica_holders(InodeId ino) const {
+  auto it = replica_holders_.find(ino);
+  return it == replica_holders_.end() ? 0 : it->second.size();
+}
+
+}  // namespace mdsim

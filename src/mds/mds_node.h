@@ -1,0 +1,359 @@
+// Metadata server node.
+//
+// One MdsNode models a complete metadata server (paper section 5.1: "our
+// metadata server prototype implements or simulates most features of the
+// system design, including metadata updates, callback-based cache
+// coherence (within the MDS cluster only), embedded inodes, a two-tiered
+// storage mechanism, dynamic subtree partitioning and load balancing, and
+// traffic control").
+//
+// Requests are processed as small continuation-passing state machines: a
+// TraversalTask walks the target's prefix chain, filling cache misses
+// either from the node's own disk (when this node is the authority) or by
+// requesting replicas from the responsible peer; once the chain is
+// resident the op-specific handler runs and a reply (with traffic-control
+// location hints) is sent.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cache/metadata_cache.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "fstree/tree.h"
+#include "mds/dirfrag.h"
+#include "mds/messages.h"
+#include "mds/params.h"
+#include "net/network.h"
+#include "sim/queue_server.h"
+#include "sim/simulation.h"
+#include "storage/anchor_table.h"
+#include "storage/disk_model.h"
+#include "storage/journal.h"
+#include "storage/object_store.h"
+#include "strategy/lazy_hybrid.h"
+#include "strategy/partition.h"
+
+namespace mdsim {
+
+class MdsNode;
+
+/// Shared cluster-wide state wired up by the cluster builder. The ground
+/// truth tree, the tier-2 object pool and the partition map are logically
+/// shared (the partition is knowledge every MDS converges on; client
+/// ignorance — not MDS ignorance — is the modelled source of misdirection,
+/// as in the paper).
+struct ClusterContext {
+  Simulation& sim;
+  Network& net;
+  FsTree& tree;
+  ObjectStore& store;
+  Partitioner& partition;
+  DirFragRegistry& dirfrag;
+  AnchorTable& anchors;
+  LazyHybridManager* lazy = nullptr;  // only for LazyHybrid runs
+  StrategyTraits traits;
+  MdsParams params;
+  int num_mds = 0;
+  std::vector<MdsNode*> nodes;  // index = MdsId = NetAddr
+};
+
+struct MdsStats {
+  std::uint64_t requests_received = 0;  // client requests (incl. forwarded)
+  std::uint64_t replies_sent = 0;
+  std::uint64_t forwards = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t replica_grants = 0;
+  std::uint64_t replica_requests_sent = 0;
+  std::uint64_t invalidations_sent = 0;
+  std::uint64_t updates_journaled = 0;
+  std::uint64_t migrations_out = 0;
+  std::uint64_t migrations_in = 0;
+  std::uint64_t items_migrated_out = 0;
+  std::uint64_t items_migrated_in = 0;
+  std::uint64_t lh_traversal_fixups = 0;
+  std::uint64_t attr_local_updates = 0;   // setattrs absorbed at replicas
+  std::uint64_t attr_flushes_applied = 0; // delta batches applied as auth
+  std::uint64_t attr_callbacks = 0;       // reads that called deltas in
+
+  // Windowed rates, sampled by the metrics collector.
+  IntervalRate reply_rate;
+  IntervalRate forward_rate;
+  IntervalRate request_rate;
+  IntervalRate miss_rate;
+};
+
+class MdsNode final : public NetEndpoint {
+ public:
+  MdsNode(ClusterContext& ctx, MdsId id);
+  ~MdsNode() override;
+
+  MdsNode(const MdsNode&) = delete;
+  MdsNode& operator=(const MdsNode&) = delete;
+
+  /// Called once by the cluster builder after every node exists: caches
+  /// the root inode (pinned; known to every node) and starts the
+  /// heartbeat if this strategy balances load.
+  void bootstrap();
+
+  void on_message(NetAddr from, MessagePtr msg) override;
+
+  MdsId id() const { return id_; }
+  MdsStats& stats() { return stats_; }
+  const MetadataCache& cache() const { return cache_; }
+  MetadataCache& cache() { return cache_; }
+  DiskModel& disk() { return disk_; }
+  const BoundedJournal& journal() const { return journal_; }
+  double current_load() const { return last_load_; }
+
+  /// Authority for `node`, honouring dynamic directory fragmentation.
+  MdsId authority_for(const FsNode* node) const;
+
+  /// True if this node currently believes `ino` is replicated everywhere
+  /// (traffic control).
+  bool is_replicated_everywhere(InodeId ino) const {
+    return replicated_.count(ino) != 0;
+  }
+
+  /// Test hooks.
+  std::size_t frozen_subtrees() const { return frozen_.size(); }
+  std::size_t deferred_requests() const { return deferred_.size(); }
+  /// Subtrees this node imported, with the import time (residency).
+  const std::unordered_map<InodeId, SimTime>& imported_subtrees() const {
+    return imported_;
+  }
+  /// Force a migration (tests/examples); returns false if busy/invalid.
+  bool migrate_subtree(FsNode* root, MdsId target);
+  /// Replica holders registered for an inode this node is authority for.
+  std::size_t replica_holders(InodeId ino) const;
+  /// Current directory-op temperature (dirfrag criterion) for a dir.
+  double dir_op_temperature(InodeId dir, SimTime now) const {
+    auto it = dir_op_temp_.find(dir);
+    return it == dir_op_temp_.end() ? 0.0 : it->second.get(now);
+  }
+  // ---- failure injection / takeover (mds_node.cc) -------------------------
+  /// Mark the node failed (it is also taken off the network by the
+  /// cluster). While failed, incoming messages are dropped.
+  void set_failed(bool failed) { failed_ = failed; }
+  bool failed() const { return failed_; }
+  /// Survivors stop considering a downed peer as a migration target.
+  void mark_peer_down(MdsId peer);
+  void mark_peer_up(MdsId peer);
+  /// Takeover warm-up (paper section 4.6): replay the failed node's
+  /// bounded journal from shared storage and preload this cache with its
+  /// working set. One sequential log read plus per-item install cost.
+  void warm_from_journal(const std::vector<InodeId>& working_set);
+  /// Drop all cache state except the pinned root (cold rejoin after an
+  /// outage; the node missed invalidations while it was down).
+  void clear_cache_for_rejoin();
+
+  /// In-flight fetch diagnostics (tests).
+  std::size_t pending_disk_fetches() const { return pending_disk_.size(); }
+  std::size_t pending_replica_fetches() const {
+    return pending_replica_.size();
+  }
+  std::size_t cpu_queue_depth() const { return cpu_.queue_depth(); }
+
+ private:
+  // ---- request context --------------------------------------------------
+  struct Request {
+    ClientRequestMsg msg;
+    NetAddr reply_to = kInvalidAddr;  // client address
+    FsNode* target = nullptr;         // resolved at serve time
+    FsNode* secondary = nullptr;
+    std::vector<FsNode*> chain;       // root .. parent-of-target
+    std::size_t chain_idx = 0;
+    std::vector<CacheEntry*> pinned;
+    bool counts_as_served = false;
+  };
+  using RequestPtr = std::shared_ptr<Request>;
+
+  // ---- dispatch (mds_node.cc) -------------------------------------------
+  void handle_client_request(ClientRequestMsg msg, NetAddr reply_to);
+  void route(RequestPtr req);
+  void serve(RequestPtr req);
+  void serve_target(RequestPtr req);
+  void finish(RequestPtr req, bool success, InodeId result_ino);
+  void fail(RequestPtr req);
+  void reply(RequestPtr req, bool success, InodeId result_ino);
+  void apply_update(RequestPtr req);
+  void pin_entry(RequestPtr req, CacheEntry* e);
+  void unpin_all(RequestPtr req);
+  void charge_cpu(SimTime amount, std::function<void()> then);
+
+  // ---- traversal engine (traversal.cc) ------------------------------------
+  /// Continue walking req->chain from chain_idx; calls serve_target when
+  /// the prefix chain is resident and permission-checked.
+  void advance_traversal(RequestPtr req);
+  /// Ensure `node` (whose parent chain is already cached here) is in the
+  /// local cache, fetching from local disk. Calls `done(entry)`;
+  /// entry == nullptr means the item vanished meanwhile.
+  /// `single_item`: read just the one dentry (a B+tree lookup — used when
+  /// serving replica grants) instead of the whole directory object with
+  /// embedded-inode prefetch (used when serving requests with locality).
+  void fetch_local(FsNode* node, InsertKind kind,
+                   std::function<void(CacheEntry*)> done,
+                   bool single_item = false);
+  /// Ask `auth` for a replica of `node`; insert and call done.
+  void fetch_replica(FsNode* node, MdsId auth, InsertKind kind,
+                     std::function<void(CacheEntry*)> done);
+  void handle_replica_request(NetAddr from, const ReplicaRequestMsg& m);
+  void handle_replica_grant(NetAddr from, const ReplicaGrantMsg& m);
+  /// Insert `node` locally with its prefix chain resident; used by the
+  /// grant protocol and migration imports. Missing prefixes are filled by
+  /// local fetches or replica requests. `have_payload` means the item's
+  /// bits arrived over the wire (grant / migration transfer), so the
+  /// final insert costs no disk I/O.
+  void insert_with_prefixes(FsNode* node, InsertKind kind, bool authoritative,
+                            bool have_payload,
+                            std::function<void(CacheEntry*)> done);
+  /// Insert into the cache, restoring any ancestors that were evicted
+  /// while an async fetch was in flight (no new I/O — the bits were just
+  /// resident; replicas re-register at their authority as bookkeeping).
+  CacheEntry* cache_insert_anchored(FsNode* node, InsertKind kind,
+                                    bool authoritative);
+  std::uint32_t fetch_cost_nodes(FsNode* node);
+  /// Insert every not-yet-cached child of `dir` this node is responsible
+  /// for, as prefetched (probation-segment) entries.
+  void prefetch_children(FsNode* dir);
+
+  // ---- journal writeback batching (mds_node.cc) ----------------------------
+  /// Journal expiry: queue the inode for a coalesced tier-2 writeback.
+  void queue_writeback(InodeId ino);
+  void flush_writebacks();
+
+  // ---- coherence (coherence.cc) -------------------------------------------
+  void register_replica(InodeId ino, MdsId holder);
+  void unregister_replica(InodeId ino, MdsId holder);
+  void invalidate_replicas(InodeId ino, bool removed);
+  void handle_invalidate(const CacheInvalidateMsg& m);
+  void handle_replica_drop(NetAddr from, const ReplicaDropMsg& m);
+  void on_cache_evict(const CacheEntry& e);
+
+  // ---- balancer (balancer.cc) ---------------------------------------------
+  void start_heartbeat();
+  void heartbeat_tick();
+  double compute_load();
+  void handle_heartbeat(const HeartbeatMsg& m);
+  void maybe_rebalance();
+  FsNode* pick_export_subtree(double excess_fraction);
+  void bump_subtree_load(const FsNode* node);
+
+  // ---- migration (migration.cc) ---------------------------------------------
+  bool subtree_frozen(const FsNode* node) const;
+  void defer(RequestPtr req);
+  void flush_deferred();
+  void begin_migration(FsNode* root, MdsId target);
+  void handle_migrate_prepare(NetAddr from, const MigratePrepareMsg& m);
+  void handle_migrate_ack(NetAddr from, const MigrateAckMsg& m);
+  void handle_migrate_commit(NetAddr from, const MigrateCommitMsg& m);
+
+  // ---- traffic control (traffic_control.cc) ---------------------------------
+  void note_popularity(RequestPtr req);
+  void maybe_replicate(FsNode* node, CacheEntry* entry);
+  void maybe_unreplicate();
+  void push_unsolicited_replica(FsNode* node, MdsId to);
+  std::vector<LocationHint> build_hints(const RequestPtr& req);
+  void maybe_fragment_dir(FsNode* dir, CacheEntry* entry);
+  void handle_dirfrag_notify(const DirFragNotifyMsg& m);
+  /// Drop cached children of `dir` whose dentry authority is no longer
+  /// this node (after a fragment/unfragment transition).
+  void drop_foreign_dentries(FsNode* dir);
+
+  // ---- distributed attribute updates (attr_updates.cc) ---------------------
+  /// Absorb a setattr at a replica holder (GPFS-style, section 4.2);
+  /// returns false if the normal authority path must be taken.
+  bool try_local_attr_update(RequestPtr req);
+  void schedule_attr_flush();
+  void flush_attr_updates();
+  void flush_attr_updates_for(InodeId ino);
+  void handle_attr_dirty(NetAddr from, const AttrDirtyMsg& m);
+  void handle_attr_flush(NetAddr from, const AttrFlushMsg& m);
+  void handle_attr_callback(const AttrCallbackMsg& m);
+  /// Authority read path: if remote deltas are outstanding, call them in
+  /// and park the request; returns true if parked.
+  bool gather_remote_attrs(RequestPtr req);
+  void resume_attr_waiters(InodeId ino);
+
+  // ---- LH (traversal.cc) ------------------------------------------------------
+  void handle_lh_update(const LazyHybridUpdateMsg& m);
+  void lh_drain_tick();
+
+  ClusterContext& ctx_;
+  MdsId id_;
+  QueueServer cpu_;
+  DiskModel disk_;
+  MetadataCache cache_;
+  BoundedJournal journal_;
+  MdsStats stats_;
+
+  // Fetch coalescing: ino -> continuations waiting on a disk fetch or a
+  // replica grant in flight.
+  std::unordered_map<InodeId,
+                     std::vector<std::function<void(CacheEntry*)>>>
+      pending_disk_;
+  std::unordered_map<InodeId,
+                     std::vector<std::function<void(CacheEntry*)>>>
+      pending_replica_;
+
+  // Coherence: for inodes this node is authoritative for, the set of
+  // peers holding replicas.
+  std::unordered_map<InodeId, std::unordered_set<MdsId>> replica_holders_;
+
+  // Traffic control: items this node decided to replicate everywhere.
+  std::unordered_set<InodeId> replicated_;
+  // Directory-op temperature (creates/unlinks/renames landing in a dir):
+  // the "busy" criterion for dynamic fragmentation. Traversal popularity
+  // deliberately does not count — otherwise near-root dirs would always
+  // fragment.
+  std::unordered_map<InodeId, DecayCounter> dir_op_temp_;
+
+  // Balancer state.
+  std::vector<double> peer_loads_;
+  double last_load_ = 0.0;
+  SimTime last_migration_ = 0;
+  std::uint64_t bal_prev_replies_ = 0;
+  std::uint64_t bal_prev_misses_ = 0;
+  SimTime bal_prev_time_ = 0;
+  SimTime bal_prev_cpu_busy_ = 0;
+  SimTime bal_prev_disk_busy_ = 0;
+  std::unordered_map<InodeId, SimTime> imported_;  // root ino -> import time
+  std::unordered_map<InodeId, DecayCounter> subtree_load_;
+
+  // Migration state.
+  struct OutboundMigration {
+    std::uint64_t id;
+    InodeId root;
+    MdsId target;
+    std::vector<InodeId> items;
+  };
+  std::unordered_set<InodeId> frozen_;
+  std::deque<RequestPtr> deferred_;
+  std::unique_ptr<OutboundMigration> outbound_;
+  std::uint64_t next_migration_id_ = 1;
+  std::uint64_t next_xid_ = 1;
+  double lh_drain_carry_ = 0.0;  // fractional drain budget between ticks
+
+  bool failed_ = false;
+
+  // Distributed attribute updates (section 4.2).
+  std::unordered_map<InodeId, std::uint32_t> attr_pending_;   // replica side
+  bool attr_flush_scheduled_ = false;
+  std::unordered_map<InodeId, std::unordered_set<MdsId>>
+      attr_dirty_remote_;                                      // authority
+  std::unordered_map<InodeId, std::vector<RequestPtr>> attr_waiters_;
+
+  // Coalesced tier-2 writebacks: expired journal entries grouped by their
+  // containing directory (shared B+tree nodes make one object write per
+  // dirty directory, not one transaction per entry — section 4.6).
+  std::unordered_map<InodeId, std::uint32_t> writeback_dirs_;
+  bool writeback_flush_scheduled_ = false;
+};
+
+}  // namespace mdsim

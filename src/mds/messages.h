@@ -1,0 +1,166 @@
+// Concrete wire messages of the MDS protocol.
+//
+// Requests reference file-system items by inode id (plus a parent/name pair
+// for creates); receivers re-resolve ids against the ground-truth tree so a
+// racing unlink simply fails the request instead of dereferencing a dead
+// node.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "net/message.h"
+
+namespace mdsim {
+
+/// Where the client should send future requests for an item (traffic
+/// control, paper section 4.4: "all responses sent to clients include
+/// current distribution information ... for the metadata requested and
+/// their prefix directories").
+struct LocationHint {
+  InodeId ino = kInvalidInode;
+  MdsId authority = kInvalidMds;
+  /// Popular item: replicated widely; pick any node.
+  bool replicated_everywhere = false;
+};
+
+struct ClientRequestMsg final : Message {
+  ClientRequestMsg() : Message(MsgType::kClientRequest, 96) {}
+
+  std::uint64_t req_id = 0;
+  ClientId client = kInvalidClient;
+  NetAddr client_addr = kInvalidAddr;
+  OpType op = OpType::kStat;
+  std::uint32_t uid = 0;
+
+  /// Target item (existing-item ops). For create/mkdir: the parent dir.
+  InodeId target = kInvalidInode;
+  /// Secondary: rename destination dir / link dir.
+  InodeId secondary = kInvalidInode;
+  /// New entry name (create/mkdir/rename/link).
+  std::string name;
+
+  /// Forwarding trail (for statistics + loop suppression).
+  std::uint8_t hops = 0;
+};
+
+struct ClientReplyMsg final : Message {
+  ClientReplyMsg() : Message(MsgType::kClientReply, 128) {}
+
+  std::uint64_t req_id = 0;
+  bool success = false;
+  /// The server that ultimately served the request.
+  MdsId served_by = kInvalidMds;
+  std::uint8_t hops = 0;
+  /// Inode created/affected (so the client can learn about new items).
+  InodeId result_ino = kInvalidInode;
+  std::vector<LocationHint> hints;
+};
+
+/// MDS-to-MDS: carry a client request to the authoritative node.
+struct ForwardMsg final : Message {
+  ForwardMsg() : Message(MsgType::kForwardedRequest, 112) {}
+  ClientRequestMsg inner;
+};
+
+/// Ask the authority for a (prefix) inode replica.
+struct ReplicaRequestMsg final : Message {
+  ReplicaRequestMsg() : Message(MsgType::kReplicaRequest, 48) {}
+  InodeId ino = kInvalidInode;
+  std::uint64_t xid = 0;  // matches request to grant at the requester
+};
+
+struct ReplicaGrantMsg final : Message {
+  ReplicaGrantMsg() : Message(MsgType::kReplicaGrant, 96) {}
+  InodeId ino = kInvalidInode;
+  std::uint64_t xid = 0;   // 0 for unsolicited (traffic-control) grants
+  bool unsolicited = false;
+  std::uint64_t version = 0;
+};
+
+/// Replica holder discarded its copy (cache eviction), releasing the
+/// authority from sending further invalidations.
+struct ReplicaDropMsg final : Message {
+  ReplicaDropMsg() : Message(MsgType::kReplicaDrop, 32) {}
+  InodeId ino = kInvalidInode;
+};
+
+/// Authority tells replica holders an item changed (or vanished).
+struct CacheInvalidateMsg final : Message {
+  CacheInvalidateMsg() : Message(MsgType::kCacheInvalidate, 48) {}
+  InodeId ino = kInvalidInode;
+  bool removed = false;  // unlink/rmdir vs attribute update
+  /// Rename of a directory: receivers must drop every cached descendant
+  /// (their position — and under hashing, their location — changed).
+  bool whole_subtree = false;
+  std::uint64_t version = 0;
+};
+
+/// Periodic load exchange for the balancer (paper section 4.3).
+struct HeartbeatMsg final : Message {
+  HeartbeatMsg() : Message(MsgType::kHeartbeat, 40) {}
+  MdsId sender = kInvalidMds;
+  double load = 0.0;
+};
+
+/// Double-commit subtree migration (paper section 4.3): prepare carries
+/// the full active state; the importer acks; the exporter commits.
+struct MigratePrepareMsg final : Message {
+  MigratePrepareMsg() : Message(MsgType::kMigratePrepare, 256) {}
+  std::uint64_t migration_id = 0;
+  InodeId subtree_root = kInvalidInode;
+  /// Cached items transferred (ids; resolved at the importer). Ordered
+  /// parents-before-children so importer inserts preserve the cache tree
+  /// invariant.
+  std::vector<InodeId> items;
+};
+
+struct MigrateAckMsg final : Message {
+  MigrateAckMsg() : Message(MsgType::kMigrateAck, 32) {}
+  std::uint64_t migration_id = 0;
+  bool accepted = true;
+};
+
+struct MigrateCommitMsg final : Message {
+  MigrateCommitMsg() : Message(MsgType::kMigrateCommit, 32) {}
+  std::uint64_t migration_id = 0;
+  InodeId subtree_root = kInvalidInode;
+};
+
+/// Lazy Hybrid background update: refresh one file's dual-entry ACL /
+/// placement (one network trip per affected file, section 3.1.3).
+struct LazyHybridUpdateMsg final : Message {
+  LazyHybridUpdateMsg() : Message(MsgType::kLazyHybridUpdate, 48) {}
+  InodeId ino = kInvalidInode;
+};
+
+/// GPFS-style distributed attribute updates (paper section 4.2): replicas
+/// absorb monotone attribute writes (mtime/size) locally and ship them to
+/// the authority periodically; reads at the authority call the deltas in.
+struct AttrDirtyMsg final : Message {
+  AttrDirtyMsg() : Message(MsgType::kAttrDirty, 32) {}
+  InodeId ino = kInvalidInode;
+};
+
+struct AttrFlushMsg final : Message {
+  AttrFlushMsg() : Message(MsgType::kAttrFlush, 48) {}
+  InodeId ino = kInvalidInode;
+  std::uint32_t updates = 0;  // absorbed local writes being shipped
+};
+
+struct AttrCallbackMsg final : Message {
+  AttrCallbackMsg() : Message(MsgType::kAttrCallback, 32) {}
+  InodeId ino = kInvalidInode;
+};
+
+/// Announce that a directory was fragmented (hashed) across the cluster or
+/// consolidated back (paper section 4.3).
+struct DirFragNotifyMsg final : Message {
+  DirFragNotifyMsg() : Message(MsgType::kDirFragNotify, 40) {}
+  InodeId dir = kInvalidInode;
+  bool fragmented = true;
+};
+
+}  // namespace mdsim

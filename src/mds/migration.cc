@@ -1,0 +1,186 @@
+// Double-commit subtree migration (paper section 4.3): "busy nodes can
+// identify portions of the hierarchy that are appropriately popular and
+// initiate a double-commit transaction to transfer authority to non-busy
+// nodes. During this exchange all active state and cached metadata are
+// transferred to the newly authoritative node ... to avoid the disk I/O
+// that would otherwise be required."
+//
+// Protocol: exporter freezes the subtree (requests defer), sends Prepare
+// with the cached item set; the importer installs the state (anchoring the
+// subtree root's prefix inodes first) and Acks; the exporter flips the
+// partition map (commit point), drops its copies, flushes deferred
+// requests, and Commits to the importer.
+#include <algorithm>
+#include <cassert>
+
+#include "mds/mds_node.h"
+
+namespace mdsim {
+
+bool MdsNode::subtree_frozen(const FsNode* node) const {
+  if (frozen_.empty()) return false;
+  for (const FsNode* n = node; n != nullptr; n = n->parent()) {
+    if (frozen_.count(n->ino()) != 0) return true;
+  }
+  return false;
+}
+
+void MdsNode::defer(RequestPtr req) { deferred_.push_back(std::move(req)); }
+
+void MdsNode::flush_deferred() {
+  std::deque<RequestPtr> pending;
+  pending.swap(deferred_);
+  for (auto& req : pending) {
+    // Re-route: the partition changed, so these will typically forward.
+    route(std::move(req));
+  }
+}
+
+void MdsNode::begin_migration(FsNode* root, MdsId target) {
+  assert(outbound_ == nullptr);
+  // Collect cached authoritative state under the subtree, parents first so
+  // the importer's inserts respect its cache tree invariant.
+  std::vector<CacheEntry*> collected;
+  cache_.for_each([&](CacheEntry& e) {
+    if (e.authoritative && FsTree::is_ancestor_of(root, e.node)) {
+      collected.push_back(&e);
+    }
+  });
+  if (collected.size() < ctx_.params.min_migration_items) return;
+  std::sort(collected.begin(), collected.end(),
+            [](const CacheEntry* a, const CacheEntry* b) {
+              return a->node->depth() < b->node->depth();
+            });
+
+  outbound_ = std::make_unique<OutboundMigration>();
+  outbound_->id = next_migration_id_++;
+  outbound_->root = root->ino();
+  outbound_->target = target;
+  outbound_->items.reserve(collected.size());
+  for (CacheEntry* e : collected) outbound_->items.push_back(e->node->ino());
+
+  frozen_.insert(root->ino());
+
+  auto msg = std::make_unique<MigratePrepareMsg>();
+  msg->migration_id = outbound_->id;
+  msg->subtree_root = outbound_->root;
+  msg->items = outbound_->items;
+  msg->size_bytes =
+      static_cast<std::uint32_t>(64 + 48 * outbound_->items.size());
+
+  const SimTime pack_cost =
+      ctx_.params.cpu_migrate_per_item * outbound_->items.size();
+  charge_cpu(pack_cost, [this, target,
+                         m = std::make_shared<MessagePtr>(std::move(msg))]() {
+    ctx_.net.send(id_, target, std::move(*m));
+  });
+}
+
+void MdsNode::handle_migrate_prepare(NetAddr from, const MigratePrepareMsg& m) {
+  const MdsId exporter = from;
+  const std::uint64_t mig_id = m.migration_id;
+  auto items = std::make_shared<std::vector<InodeId>>(m.items);
+  const InodeId root_ino = m.subtree_root;
+
+  const SimTime unpack_cost = ctx_.params.cpu_migrate_per_item * items->size();
+  charge_cpu(unpack_cost, [this, exporter, mig_id, root_ino, items]() {
+    FsNode* root = ctx_.tree.by_ino(root_ino);
+    auto send_ack = [this, exporter, mig_id](bool accepted) {
+      auto ack = std::make_unique<MigrateAckMsg>();
+      ack->migration_id = mig_id;
+      ack->accepted = accepted;
+      ctx_.net.send(id_, exporter, std::move(ack));
+    };
+    if (root == nullptr) {
+      send_ack(false);
+      return;
+    }
+    // Anchor the subtree root's prefix inodes (the per-delegation overhead
+    // the paper notes: "the authority must cache the containing directory
+    // (prefix) inodes for each of its subtrees"), then install the
+    // transferred state.
+    insert_with_prefixes(
+        root, InsertKind::kDemand, /*authoritative=*/true,
+        /*have_payload=*/true,
+        [this, items, root_ino, send_ack](CacheEntry* anchor) {
+          if (anchor == nullptr) {
+            send_ack(false);
+            return;
+          }
+          std::uint64_t installed = 0;
+          for (InodeId ino : *items) {
+            if (ino == root_ino) continue;  // anchored above
+            FsNode* n = ctx_.tree.by_ino(ino);
+            if (n == nullptr) continue;  // unlinked in flight
+            cache_insert_anchored(n, InsertKind::kDemand,
+                                  /*authoritative=*/true);
+            ++installed;
+          }
+          stats_.items_migrated_in += installed;
+          send_ack(true);
+        });
+  });
+}
+
+void MdsNode::handle_migrate_ack(NetAddr from, const MigrateAckMsg& m) {
+  (void)from;
+  if (outbound_ == nullptr || outbound_->id != m.migration_id) return;
+  OutboundMigration mig = *outbound_;
+  outbound_.reset();
+  frozen_.erase(mig.root);
+
+  if (!m.accepted) {
+    flush_deferred();
+    return;
+  }
+
+  // Commit point: authority flips cluster-wide.
+  FsNode* root = ctx_.tree.by_ino(mig.root);
+  if (root != nullptr) {
+    auto* subtree =
+        dynamic_cast<SubtreePartition*>(&ctx_.partition);
+    assert(subtree != nullptr && "migration requires a subtree partition");
+    subtree->delegate(root, mig.target);
+  }
+  imported_.erase(mig.root);
+  subtree_load_.erase(mig.root);
+
+  // Drop exported copies (children first) and clean up third-party
+  // replica registrations for the items we no longer own.
+  std::vector<FsNode*> exported;
+  exported.reserve(mig.items.size());
+  for (InodeId ino : mig.items) {
+    invalidate_replicas(ino, /*removed=*/false);
+    FsNode* n = ctx_.tree.by_ino(ino);
+    if (n != nullptr) exported.push_back(n);
+  }
+  std::sort(exported.begin(), exported.end(),
+            [](const FsNode* a, const FsNode* b) {
+              return a->depth() > b->depth();
+            });
+  for (FsNode* n : exported) {
+    CacheEntry* e = cache_.peek(n->ino());
+    if (e == nullptr) continue;
+    if (e->cached_children > 0 || e->pins > 0) continue;  // still anchoring
+    cache_.erase(n->ino());
+  }
+
+  ++stats_.migrations_out;
+  stats_.items_migrated_out += mig.items.size();
+  last_migration_ = ctx_.sim.now();
+
+  auto commit = std::make_unique<MigrateCommitMsg>();
+  commit->migration_id = mig.id;
+  commit->subtree_root = mig.root;
+  ctx_.net.send(id_, mig.target, std::move(commit));
+
+  flush_deferred();
+}
+
+void MdsNode::handle_migrate_commit(NetAddr from, const MigrateCommitMsg& m) {
+  (void)from;
+  ++stats_.migrations_in;
+  imported_[m.subtree_root] = ctx_.sim.now();
+}
+
+}  // namespace mdsim

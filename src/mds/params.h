@@ -1,0 +1,103 @@
+// Tunables for MDS behaviour. Defaults are calibrated so a single MDS
+// saturates in the low thousands of ops/sec with 2004-era disk constants,
+// matching the operating region of the paper's figures.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "storage/disk_model.h"
+
+namespace mdsim {
+
+struct MdsParams {
+  // --- CPU ------------------------------------------------------------
+  /// Base CPU service time to process one client request at the server.
+  SimTime cpu_request = from_micros(40);
+  /// Extra CPU per path component traversed.
+  SimTime cpu_per_component = from_micros(3);
+  /// CPU to forward a request to another node.
+  SimTime cpu_forward = from_micros(5);
+  /// CPU to serve a replica grant / handle coherence traffic.
+  SimTime cpu_replica = from_micros(15);
+  /// CPU per cache item packed/unpacked during subtree migration.
+  SimTime cpu_migrate_per_item = from_micros(2);
+
+  // --- Cache ------------------------------------------------------------
+  /// Metadata cache capacity, in items (inodes).
+  std::size_t cache_capacity = 4000;
+  /// Half-life of the popularity decay counters.
+  SimTime popularity_half_life = 2 * kSecond;
+
+  // --- Storage ----------------------------------------------------------
+  DiskParams disk;
+  /// Bounded journal capacity in entries (paper: on the order of the
+  /// cache size).
+  std::size_t journal_capacity = 4000;
+
+  // --- Load balancer (dynamic subtree only) -----------------------------
+  /// Load metric (paper section 4.3). kWeightedLoad is the paper
+  /// prototype's "weighted combination of node throughput and cache
+  /// misses"; kUtilizationVector is the robust alternative the paper
+  /// sketches — "equalize utilization of all resources across the
+  /// cluster" — taking the bottleneck resource (CPU, disk, cache
+  /// pressure) as the node's load.
+  enum class BalancerMetric : std::uint8_t {
+    kWeightedLoad,
+    kUtilizationVector,
+  };
+  BalancerMetric balancer_metric = BalancerMetric::kWeightedLoad;
+
+  SimTime heartbeat_period = kSecond;
+  /// Rebalance when own load exceeds cluster mean by this factor.
+  double balance_trigger = 1.50;
+  /// ... and ship work to nodes below mean times this factor.
+  double balance_target = 0.90;
+  /// Weight of throughput vs cache-miss rate in the load metric (paper
+  /// section 5.1: "a weighted combination of node throughput and cache
+  /// misses").
+  double load_weight_throughput = 1.0;
+  double load_weight_miss = 3.0;
+  /// Smallest subtree worth migrating (items in cache).
+  std::size_t min_migration_items = 8;
+  /// Minimum spacing between migrations initiated by one node.
+  SimTime migration_cooldown = 4 * kSecond;
+  /// A freshly imported subtree must stay this long before it can be
+  /// re-exported (stops hot subtrees ping-ponging around the cluster).
+  SimTime min_subtree_residency = 8 * kSecond;
+
+  // --- Traffic control (dynamic subtree only) ----------------------------
+  bool traffic_control_enabled = true;
+  /// Popularity (decayed requests/interval) above which an item/subtree is
+  /// replicated cluster-wide and clients are told "anywhere". The default
+  /// only fires for near-root directories and true crowds; flash-crowd
+  /// experiments lower it.
+  double replication_threshold = 5000.0;
+  /// Popularity below which a replicated item collapses back to its
+  /// authority.
+  double unreplicate_threshold = 400.0;
+
+  // --- Distributed attribute updates (paper section 4.2) ------------------
+  /// Replicas absorb monotone attribute writes (setattr: mtime/size)
+  /// locally, GPFS-style, and flush them to the authority periodically;
+  /// reads at the authority first call outstanding deltas in.
+  bool distributed_attr_updates = true;
+  SimTime attr_flush_period = 500 * kMillisecond;
+
+  // --- Lazy Hybrid -------------------------------------------------------
+  /// Background drain rate of the LH lazy-update log, cluster-wide
+  /// (entries per second; one network trip per affected file).
+  double lh_drain_rate = 2000.0;
+  SimTime lh_drain_tick_period = from_millis(10);
+
+  // --- Dynamic directory fragmentation ------------------------------------
+  bool dirfrag_enabled = true;
+  /// Fragment a directory across the cluster when its size exceeds this
+  /// many entries or its popularity exceeds the replication threshold.
+  std::size_t dirfrag_size_threshold = 4000;
+  double dirfrag_temp_threshold = 1200.0;
+  /// Merge back when size and popularity fall below half the thresholds.
+  double dirfrag_hysteresis = 0.25;
+};
+
+}  // namespace mdsim

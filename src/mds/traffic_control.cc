@@ -1,0 +1,191 @@
+// Traffic control (paper section 4.4): the authority monitors per-item
+// popularity with decayed access counters; replies carry distribution
+// information for the target and its prefixes; popular items are
+// preemptively replicated cluster-wide so flash crowds spread across all
+// nodes instead of converging on the authority. Also hosts the dynamic
+// directory fragmentation decisions (section 4.3).
+#include <algorithm>
+#include <cassert>
+
+#include "mds/mds_node.h"
+
+namespace mdsim {
+
+void MdsNode::note_popularity(RequestPtr req) {
+  if (!req->counts_as_served || req->target == nullptr) return;
+  const SimTime now = ctx_.sim.now();
+
+  if (ctx_.traits.load_balancing) bump_subtree_load(req->target);
+
+  CacheEntry* e = cache_.peek(req->target->ino());
+  if (e == nullptr) return;
+
+  if (ctx_.traits.traffic_control && ctx_.params.traffic_control_enabled) {
+    maybe_replicate(req->target, e);
+  }
+  if (ctx_.traits.dynamic_dirfrag && ctx_.params.dirfrag_enabled) {
+    // Only namespace-mutating ops heat a directory toward fragmentation.
+    FsNode* dir = nullptr;
+    switch (req->msg.op) {
+      case OpType::kCreate:
+      case OpType::kMkdir:
+      case OpType::kLink:
+        dir = req->target;  // the containing directory
+        break;
+      case OpType::kUnlink:
+      case OpType::kRmdir:
+      case OpType::kRename:
+        dir = req->target->parent();
+        break;
+      default:
+        break;
+    }
+    if (dir != nullptr) {
+      auto [it, inserted] = dir_op_temp_.try_emplace(
+          dir->ino(), DecayCounter(ctx_.params.popularity_half_life));
+      it->second.hit(now);
+      CacheEntry* de = cache_.peek(dir->ino());
+      if (de != nullptr) maybe_fragment_dir(dir, de);
+    }
+  }
+}
+
+void MdsNode::maybe_replicate(FsNode* node, CacheEntry* entry) {
+  const InodeId ino = node->ino();
+  if (replicated_.count(ino) != 0) return;
+  if (authority_for(node) != id_) return;
+  const double pop = entry->popularity.get(ctx_.sim.now());
+  if (pop < ctx_.params.replication_threshold) return;
+
+  // Replicate everywhere and remember it; future replies tell clients to
+  // pick any node.
+  replicated_.insert(ino);
+  for (MdsId peer = 0; peer < ctx_.num_mds; ++peer) {
+    if (peer == id_) continue;
+    register_replica(ino, peer);
+    push_unsolicited_replica(node, peer);
+  }
+}
+
+void MdsNode::push_unsolicited_replica(FsNode* node, MdsId to) {
+  auto msg = std::make_unique<ReplicaGrantMsg>();
+  msg->ino = node->ino();
+  msg->unsolicited = true;
+  msg->version = node->inode().version;
+  ++stats_.replica_grants;
+  ctx_.net.send(id_, to, std::move(msg));
+}
+
+void MdsNode::maybe_unreplicate() {
+  if (!ctx_.traits.traffic_control) return;
+  const SimTime now = ctx_.sim.now();
+  // Also prune cold directory-op temperature counters, and re-evaluate
+  // fragmentation of still-registered dirs whose storms have ended.
+  for (auto it = dir_op_temp_.begin(); it != dir_op_temp_.end();) {
+    if (it->second.get(now) < 0.5 &&
+        !ctx_.dirfrag.is_fragmented(it->first)) {
+      it = dir_op_temp_.erase(it);
+    } else {
+      if (ctx_.dirfrag.is_fragmented(it->first)) {
+        FsNode* dir = ctx_.tree.by_ino(it->first);
+        if (dir != nullptr) maybe_fragment_dir(dir, nullptr);
+      }
+      ++it;
+    }
+  }
+  for (auto it = replicated_.begin(); it != replicated_.end();) {
+    const InodeId ino = *it;
+    FsNode* node = ctx_.tree.by_ino(ino);
+    bool drop = node == nullptr;
+    if (!drop && authority_for(node) == id_) {
+      CacheEntry* e = cache_.peek(ino);
+      const double pop = e ? e->popularity.get(now) : 0.0;
+      drop = pop < ctx_.params.unreplicate_threshold;
+    }
+    // Entries we merely *learned* are replicated (non-authority) expire
+    // with the replica itself (handled on eviction/invalidation).
+    it = drop ? replicated_.erase(it) : std::next(it);
+  }
+}
+
+std::vector<LocationHint> MdsNode::build_hints(const RequestPtr& req) {
+  std::vector<LocationHint> hints;
+  if (req->target == nullptr) return hints;
+  // Distribution info for the target and its prefix directories (clients
+  // cache these and direct future requests accordingly).
+  const bool tc = ctx_.traits.traffic_control &&
+                  ctx_.params.traffic_control_enabled;
+  for (FsNode* n : req->target->ancestry()) {
+    LocationHint h;
+    h.ino = n->ino();
+    h.authority = authority_for(n);
+    h.replicated_everywhere = tc && replicated_.count(n->ino()) != 0;
+    hints.push_back(h);
+  }
+  return hints;
+}
+
+// --------------------------------------------------------------------------
+// Dynamic directory fragmentation
+// --------------------------------------------------------------------------
+
+void MdsNode::drop_foreign_dentries(FsNode* dir) {
+  // Children-first order is unnecessary here: only direct children of the
+  // directory change authority, and any that anchor cached grandchildren
+  // must be kept (they fall out as the grandchildren expire).
+  std::vector<InodeId> victims;
+  cache_.for_each([&](CacheEntry& e) {
+    if (e.node->parent() == dir && authority_for(e.node) != id_ &&
+        e.authoritative && e.cached_children == 0 && e.pins == 0) {
+      victims.push_back(e.node->ino());
+    }
+  });
+  for (InodeId ino : victims) cache_.erase(ino);
+}
+
+void MdsNode::maybe_fragment_dir(FsNode* dir, CacheEntry* entry) {
+  (void)entry;
+  const SimTime now = ctx_.sim.now();
+  const MdsParams& P = ctx_.params;
+  auto tit = dir_op_temp_.find(dir->ino());
+  const double pop = tit == dir_op_temp_.end() ? 0.0 : tit->second.get(now);
+  const bool fragged = ctx_.dirfrag.is_fragmented(dir->ino());
+
+  if (!fragged) {
+    // Only the directory's authority makes the call.
+    if (ctx_.partition.authority_of(dir) != id_) return;
+    const bool too_big = dir->child_count() >= P.dirfrag_size_threshold;
+    const bool too_hot = pop >= P.dirfrag_temp_threshold;
+    if (!too_big && !too_hot) return;
+    ctx_.dirfrag.fragment(dir->ino());
+    ++ctx_.dirfrag.fragment_events;
+  } else {
+    if (ctx_.partition.authority_of(dir) != id_) return;
+    const bool cooled =
+        pop < P.dirfrag_temp_threshold * P.dirfrag_hysteresis &&
+        dir->child_count() <
+            static_cast<std::size_t>(P.dirfrag_size_threshold *
+                                     P.dirfrag_hysteresis);
+    if (!cooled) return;
+    ctx_.dirfrag.unfragment(dir->ino());
+    ++ctx_.dirfrag.merge_events;
+  }
+
+  // Announce the transition; everyone sheds dentries they no longer own.
+  for (MdsId peer = 0; peer < ctx_.num_mds; ++peer) {
+    if (peer == id_) continue;
+    auto msg = std::make_unique<DirFragNotifyMsg>();
+    msg->dir = dir->ino();
+    msg->fragmented = !fragged;
+    ctx_.net.send(id_, peer, std::move(msg));
+  }
+  drop_foreign_dentries(dir);
+}
+
+void MdsNode::handle_dirfrag_notify(const DirFragNotifyMsg& m) {
+  FsNode* dir = ctx_.tree.by_ino(m.dir);
+  if (dir == nullptr) return;
+  drop_foreign_dentries(dir);
+}
+
+}  // namespace mdsim

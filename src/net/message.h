@@ -1,0 +1,85 @@
+// Message base class for the simulated cluster interconnect.
+//
+// Concrete message types are defined by the layers that use them (the MDS
+// protocol in src/mds/messages.h, the client protocol in the same place).
+// The network layer only needs a type tag (for per-type statistics) and an
+// approximate wire size (for future bandwidth modelling).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+namespace mdsim {
+
+/// Network addresses. MDS nodes occupy [0, cluster_size); clients are
+/// assigned addresses at cluster_size + client_id.
+using NetAddr = std::int32_t;
+constexpr NetAddr kInvalidAddr = -1;
+
+enum class MsgType : std::uint8_t {
+  // Client <-> MDS
+  kClientRequest,
+  kClientReply,
+  // MDS <-> MDS
+  kForwardedRequest,
+  kReplicaRequest,   // fetch inode(s) for prefix/replica caching
+  kReplicaGrant,
+  kReplicaDrop,      // replica holder discards; authority may release
+  kCacheInvalidate,  // authority -> replicas on update
+  kCacheUpdateAck,
+  kHeartbeat,        // load exchange for the balancer
+  kMigratePrepare,   // double-commit subtree migration
+  kMigrateCommit,
+  kMigrateAck,
+  kLazyHybridUpdate,  // LH propagation traffic
+  kDirFragNotify,     // directory hash/unhash announcements
+  // GPFS-style distributed attribute updates (paper section 4.2):
+  kAttrDirty,     // replica tells authority it holds local attr deltas
+  kAttrFlush,     // replica ships accumulated deltas to the authority
+  kAttrCallback,  // authority demands an immediate flush (client read)
+};
+
+constexpr const char* msg_name(MsgType t) {
+  switch (t) {
+    case MsgType::kClientRequest: return "client_request";
+    case MsgType::kClientReply: return "client_reply";
+    case MsgType::kForwardedRequest: return "forward";
+    case MsgType::kReplicaRequest: return "replica_request";
+    case MsgType::kReplicaGrant: return "replica_grant";
+    case MsgType::kReplicaDrop: return "replica_drop";
+    case MsgType::kCacheInvalidate: return "invalidate";
+    case MsgType::kCacheUpdateAck: return "update_ack";
+    case MsgType::kHeartbeat: return "heartbeat";
+    case MsgType::kMigratePrepare: return "migrate_prepare";
+    case MsgType::kMigrateCommit: return "migrate_commit";
+    case MsgType::kMigrateAck: return "migrate_ack";
+    case MsgType::kLazyHybridUpdate: return "lh_update";
+    case MsgType::kDirFragNotify: return "dirfrag";
+    case MsgType::kAttrDirty: return "attr_dirty";
+    case MsgType::kAttrFlush: return "attr_flush";
+    case MsgType::kAttrCallback: return "attr_callback";
+  }
+  return "?";
+}
+
+constexpr int kNumMsgTypes = 17;
+
+struct Message {
+  explicit Message(MsgType t, std::uint32_t bytes = 64)
+      : type(t), size_bytes(bytes) {}
+  virtual ~Message() = default;
+
+  MsgType type;
+  std::uint32_t size_bytes;
+};
+
+using MessagePtr = std::unique_ptr<Message>;
+
+/// Anything that can receive messages from the network.
+class NetEndpoint {
+ public:
+  virtual ~NetEndpoint() = default;
+  virtual void on_message(NetAddr from, MessagePtr msg) = 0;
+};
+
+}  // namespace mdsim

@@ -1,0 +1,69 @@
+#include "net/network.h"
+
+#include <cassert>
+
+namespace mdsim {
+
+Network::Network(Simulation& sim, NetworkParams params)
+    : sim_(sim), params_(params), rng_(params.seed, /*stream=*/0x4e7) {}
+
+NetAddr Network::attach(NetEndpoint* endpoint) {
+  assert(endpoint != nullptr);
+  endpoints_.push_back(endpoint);
+  return static_cast<NetAddr>(endpoints_.size() - 1);
+}
+
+void Network::set_down(NetAddr addr, bool down) {
+  if (down) {
+    down_.insert(addr);
+  } else {
+    down_.erase(addr);
+  }
+}
+
+void Network::send(NetAddr from, NetAddr to, MessagePtr msg) {
+  assert(to >= 0 && static_cast<std::size_t>(to) < endpoints_.size());
+  assert(from >= 0 && static_cast<std::size_t>(from) < endpoints_.size());
+  if (!down_.empty() && (down_.count(from) != 0 || down_.count(to) != 0)) {
+    ++dropped_;
+    return;
+  }
+  counts_[static_cast<std::size_t>(msg->type)]++;
+
+  SimTime latency = 0;
+  if (from != to) {
+    latency = params_.base_latency;
+    if (params_.jitter_mean > 0) {
+      latency += static_cast<SimTime>(
+          rng_.exponential(static_cast<double>(params_.jitter_mean)));
+    }
+    // FIFO per (src,dst): never deliver before a previously sent message.
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)) << 32) |
+        static_cast<std::uint32_t>(to);
+    SimTime deliver_at = sim_.now() + latency;
+    auto [it, inserted] = last_delivery_.try_emplace(key, deliver_at);
+    if (!inserted) {
+      if (deliver_at < it->second) deliver_at = it->second;
+      it->second = deliver_at;
+    }
+    latency = deliver_at - sim_.now();
+  }
+
+  NetEndpoint* dst = endpoints_[static_cast<std::size_t>(to)];
+  // The shared_ptr shim lets the std::function be copyable.
+  auto shared = std::make_shared<MessagePtr>(std::move(msg));
+  sim_.schedule(latency, [dst, from, shared]() {
+    dst->on_message(from, std::move(*shared));
+  });
+}
+
+std::uint64_t Network::total_messages() const {
+  std::uint64_t total = 0;
+  for (auto c : counts_) total += c;
+  return total;
+}
+
+void Network::reset_counters() { counts_.fill(0); }
+
+}  // namespace mdsim

@@ -1,0 +1,69 @@
+// Simulated point-to-point interconnect.
+//
+// Delivery latency = base + Exp(jitter_mean); messages between a pair of
+// endpoints are delivered in FIFO order (latency draws are made monotone
+// per (src,dst) pair), matching a TCP-like transport. Per-type message
+// counters feed the forwarding/overhead statistics in figures 6 and 7.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "net/message.h"
+#include "sim/simulation.h"
+
+namespace mdsim {
+
+struct NetworkParams {
+  SimTime base_latency = from_micros(120);
+  SimTime jitter_mean = from_micros(20);
+  std::uint64_t seed = 7;
+};
+
+class Network {
+ public:
+  Network(Simulation& sim, NetworkParams params);
+
+  /// Register an endpoint; returns its address. Endpoints must outlive the
+  /// network. Addresses are assigned densely from 0.
+  NetAddr attach(NetEndpoint* endpoint);
+
+  /// Send a message. Self-sends are delivered with zero latency (used by
+  /// loopback forwarding paths to keep code uniform).
+  /// Messages from or to a downed endpoint are silently dropped (failure
+  /// injection; receivers rely on timeouts, exactly as over a real
+  /// interconnect).
+  void send(NetAddr from, NetAddr to, MessagePtr msg);
+
+  /// Failure injection: take an endpoint off the network (or back on).
+  void set_down(NetAddr addr, bool down);
+  bool is_down(NetAddr addr) const { return down_.count(addr) != 0; }
+  std::uint64_t dropped_messages() const { return dropped_; }
+
+  std::uint64_t messages_sent(MsgType t) const {
+    return counts_[static_cast<std::size_t>(t)];
+  }
+  std::uint64_t total_messages() const;
+  /// Zero all message counters (e.g. after warm-up).
+  void reset_counters();
+
+  std::size_t endpoint_count() const { return endpoints_.size(); }
+
+ private:
+  Simulation& sim_;
+  NetworkParams params_;
+  Rng rng_;
+  std::vector<NetEndpoint*> endpoints_;
+  std::unordered_set<NetAddr> down_;
+  std::uint64_t dropped_ = 0;
+  std::array<std::uint64_t, kNumMsgTypes> counts_{};
+  /// Earliest permissible delivery per (src,dst) to preserve FIFO order.
+  std::unordered_map<std::uint64_t, SimTime> last_delivery_;
+};
+
+}  // namespace mdsim

@@ -1,0 +1,55 @@
+#include "sim/queue_server.h"
+
+#include "sim/simulation.h"
+
+namespace mdsim {
+
+QueueServer::QueueServer(Simulation& sim, std::string name)
+    : sim_(sim), name_(std::move(name)) {}
+
+void QueueServer::submit(SimTime service_time, std::function<void()> done) {
+  queue_.push_back(Job{service_time, sim_.now(), std::move(done)});
+  if (!busy_) start_next();
+}
+
+void QueueServer::start_next() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  Job job = std::move(queue_.front());
+  queue_.pop_front();
+  wait_.add(to_seconds(sim_.now() - job.enqueued));
+  busy_ns_ += job.service;
+  sim_.schedule(job.service, [this, job = std::move(job)]() mutable {
+    finish(std::move(job));
+  });
+}
+
+void QueueServer::finish(Job job) {
+  ++completed_;
+  // Chain the next job before invoking the callback so that re-entrant
+  // submissions from `done` queue behind already-waiting work.
+  start_next();
+  if (access_latency_ == 0) {
+    job.done();
+  } else {
+    sim_.schedule(access_latency_, std::move(job.done));
+  }
+}
+
+double QueueServer::utilization(SimTime now) const {
+  const SimTime elapsed = now - stats_since_;
+  if (elapsed == 0) return 0.0;
+  return static_cast<double>(busy_ns_) / static_cast<double>(elapsed);
+}
+
+void QueueServer::reset_stats(SimTime now) {
+  stats_since_ = now;
+  busy_ns_ = 0;
+  completed_ = 0;
+  wait_ = Summary{};
+}
+
+}  // namespace mdsim

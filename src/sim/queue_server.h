@@ -1,0 +1,69 @@
+// FIFO single-server queue: the simulator's model for any serialized
+// resource with a service time per job — MDS CPU, metadata disk, journal
+// device. Matches the paper's storage simplification (section 5.1):
+// "average disk latencies and transactional throughputs only".
+//
+// A job submitted while the server is busy waits; completion callbacks fire
+// in submission order. Optional fixed access latency is added on top of the
+// queueing delay (e.g. disk seek+rotation vs transfer).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace mdsim {
+
+class Simulation;
+
+class QueueServer {
+ public:
+  /// `name` is used in statistics output only.
+  QueueServer(Simulation& sim, std::string name);
+
+  /// Submit a job with the given service time; `done` fires when it
+  /// completes (after queueing + access_latency + service).
+  void submit(SimTime service_time, std::function<void()> done);
+
+  /// Fixed latency added to every job, outside the serialized portion
+  /// (i.e. it does not consume server capacity; models e.g. bus latency).
+  void set_access_latency(SimTime latency) { access_latency_ = latency; }
+
+  std::size_t queue_depth() const { return queue_.size() + (busy_ ? 1 : 0); }
+  std::uint64_t jobs_completed() const { return completed_; }
+
+  /// Busy time / elapsed time since construction or last reset.
+  double utilization(SimTime now) const;
+  /// Cumulative busy time (for caller-side windowed utilization).
+  SimTime busy_time() const { return busy_ns_; }
+  const Summary& wait_times() const { return wait_; }
+  void reset_stats(SimTime now);
+
+  const std::string& name() const { return name_; }
+
+ private:
+  struct Job {
+    SimTime service;
+    SimTime enqueued;
+    std::function<void()> done;
+  };
+
+  void start_next();
+  void finish(Job job);
+
+  Simulation& sim_;
+  std::string name_;
+  SimTime access_latency_ = 0;
+  std::deque<Job> queue_;
+  bool busy_ = false;
+  std::uint64_t completed_ = 0;
+  SimTime busy_ns_ = 0;
+  SimTime stats_since_ = 0;
+  Summary wait_;
+};
+
+}  // namespace mdsim

@@ -1,0 +1,75 @@
+#include "sim/simulation.h"
+
+#include <cassert>
+
+namespace mdsim {
+
+void EventHandle::cancel() {
+  if (state_) state_->cancelled = true;
+}
+
+bool EventHandle::pending() const {
+  return state_ && !state_->cancelled && !state_->fired;
+}
+
+EventHandle Simulation::schedule(SimTime delay, std::function<void()> fn) {
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventHandle Simulation::schedule_at(SimTime when, std::function<void()> fn) {
+  assert(when >= now_);
+  auto state = std::make_shared<EventHandle::State>();
+  queue_.push(Event{when, seq_++, std::move(fn), state});
+  return EventHandle(std::move(state));
+}
+
+bool Simulation::step(SimTime until) {
+  while (!queue_.empty()) {
+    const Event& head = queue_.top();
+    if (head.time > until) return false;
+    // Move out of the queue before executing: the callback may schedule.
+    Event ev = std::move(const_cast<Event&>(head));
+    queue_.pop();
+    if (ev.state->cancelled) continue;
+    now_ = ev.time;
+    ev.state->fired = true;
+    ev.fn();
+    ++executed_;
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Simulation::run_until(SimTime until) {
+  std::uint64_t n = 0;
+  while (step(until)) ++n;
+  // Advance the clock to `until` so back-to-back runs resume correctly.
+  if (until > now_) now_ = until;
+  return n;
+}
+
+std::uint64_t Simulation::run() {
+  std::uint64_t n = 0;
+  while (step(~SimTime{0})) ++n;
+  return n;
+}
+
+void Simulation::every(SimTime period, SimTime start,
+                       std::function<bool()> fn) {
+  assert(period > 0);
+  auto shared_fn = std::make_shared<std::function<bool()>>(std::move(fn));
+  // Self-rescheduling event chain.
+  struct Rescheduler {
+    Simulation* sim;
+    SimTime period;
+    std::shared_ptr<std::function<bool()>> fn;
+    void arm(SimTime delay) {
+      sim->schedule(delay, [r = *this]() mutable {
+        if ((*r.fn)()) r.arm(r.period);
+      });
+    }
+  };
+  Rescheduler{this, period, shared_fn}.arm(start);
+}
+
+}  // namespace mdsim

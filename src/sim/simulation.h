@@ -1,0 +1,92 @@
+// Discrete-event simulation core.
+//
+// A Simulation owns a priority queue of (time, sequence, callback) events.
+// Events scheduled for the same instant fire in scheduling order, which
+// keeps runs fully deterministic. Events may be cancelled via the handle
+// returned by `schedule`.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mdsim {
+
+class Simulation;
+
+/// Handle to a scheduled event; allows cancellation. Copyable; all copies
+/// refer to the same event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancel the event if it has not yet fired. Safe to call repeatedly.
+  void cancel();
+  bool pending() const;
+
+ private:
+  friend class Simulation;
+  struct State {
+    bool cancelled = false;
+    bool fired = false;
+  };
+  explicit EventHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
+  std::shared_ptr<State> state_;
+};
+
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` to run `delay` ns from now. Returns a cancellable handle.
+  EventHandle schedule(SimTime delay, std::function<void()> fn);
+
+  /// Schedule at an absolute time >= now().
+  EventHandle schedule_at(SimTime when, std::function<void()> fn);
+
+  /// Run until the event queue empties or simulated time reaches `until`.
+  /// Returns the number of events executed.
+  std::uint64_t run_until(SimTime until);
+
+  /// Run until the queue is empty. Returns events executed.
+  std::uint64_t run();
+
+  /// Execute a single event; returns false if the queue is empty or the
+  /// head event is beyond `until`.
+  bool step(SimTime until);
+
+  std::uint64_t events_executed() const { return executed_; }
+  std::size_t events_pending() const { return queue_.size(); }
+
+  /// Register a periodic callback fired every `period` starting at
+  /// `start`; runs until the simulation stops or `fn` returns false.
+  void every(SimTime period, SimTime start, std::function<bool()> fn);
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<EventHandle::State> state;
+
+    bool operator>(const Event& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  SimTime now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace mdsim

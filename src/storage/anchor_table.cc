@@ -1,0 +1,97 @@
+#include "storage/anchor_table.h"
+
+#include <cassert>
+
+namespace mdsim {
+
+void AnchorTable::add_chain(InodeId ino,
+                            const std::vector<InodeId>& parent_chain) {
+  InodeId cur = ino;
+  for (InodeId parent : parent_chain) {
+    Entry& e = table_[cur];
+    if (e.nref == 0) e.parent = parent;
+    assert(e.parent == parent && "inconsistent parent chain");
+    ++e.nref;
+    cur = parent;
+  }
+  // Terminal ancestor (typically the root) also gets a refcounted entry
+  // with no parent, so drop_chain can walk symmetrically.
+  Entry& last = table_[cur];
+  ++last.nref;
+}
+
+void AnchorTable::drop_chain(InodeId start) {
+  InodeId cur = start;
+  while (cur != kInvalidInode) {
+    auto it = table_.find(cur);
+    assert(it != table_.end() && "refcount underflow: chain missing");
+    InodeId parent = it->second.parent;
+    if (--it->second.nref == 0) {
+      table_.erase(it);
+    }
+    cur = parent;
+  }
+}
+
+void AnchorTable::anchor(InodeId ino,
+                         const std::vector<InodeId>& parent_chain) {
+  add_chain(ino, parent_chain);
+}
+
+bool AnchorTable::unanchor(InodeId ino) {
+  if (table_.count(ino) == 0) return false;
+  drop_chain(ino);
+  return true;
+}
+
+std::vector<InodeId> AnchorTable::resolve(InodeId ino) const {
+  std::vector<InodeId> chain;
+  auto it = table_.find(ino);
+  if (it == table_.end()) return chain;
+  InodeId cur = it->second.parent;
+  while (cur != kInvalidInode) {
+    chain.push_back(cur);
+    auto pit = table_.find(cur);
+    if (pit == table_.end()) break;
+    cur = pit->second.parent;
+  }
+  return chain;
+}
+
+void AnchorTable::on_directory_move(InodeId dir,
+                                    const std::vector<InodeId>& new_chain) {
+  auto it = table_.find(dir);
+  if (it == table_.end()) return;  // directory not on any anchored chain
+  const std::uint32_t moved_refs = it->second.nref;
+  const InodeId old_parent = it->second.parent;
+
+  // Release the old ancestors once per ref held through this directory.
+  for (std::uint32_t i = 0; i < moved_refs; ++i) {
+    if (old_parent != kInvalidInode) drop_chain(old_parent);
+  }
+  // Acquire the new ancestors the same number of times.
+  it = table_.find(dir);
+  assert(it != table_.end());
+  it->second.parent = new_chain.empty() ? kInvalidInode : new_chain.front();
+  if (!new_chain.empty()) {
+    for (std::uint32_t i = 0; i < moved_refs; ++i) {
+      InodeId cur = kInvalidInode;
+      for (std::size_t c = 0; c < new_chain.size(); ++c) {
+        Entry& e = table_[new_chain[c]];
+        const InodeId parent =
+            c + 1 < new_chain.size() ? new_chain[c + 1] : kInvalidInode;
+        if (e.nref == 0) e.parent = parent;
+        ++e.nref;
+        cur = new_chain[c];
+      }
+      (void)cur;
+    }
+  }
+}
+
+std::uint32_t AnchorTable::refs(InodeId ino) const {
+  auto it = table_.find(ino);
+  return it == table_.end() ? 0 : it->second.nref;
+}
+
+}  // namespace mdsim

@@ -1,0 +1,66 @@
+// Anchor table (paper section 4.5).
+//
+// With inodes embedded in directories there is no global inode table, so a
+// hard link whose dentry lives in a *different* directory has no way to
+// locate the inode. The paper's fix: "a global table mapping inode numbers
+// to parent directory inode numbers, ... populat[ed] only with
+// multiply-linked inodes and their ancestor directories. Combined with a
+// reference count of all such nested items, embedded inodes can be located
+// by recursively identifying containing directories."
+//
+// Entries exist only for anchored inodes and the directories on their
+// parent chains; refcounts track how many anchored descendants keep each
+// directory entry alive, so the table stays proportional to the number of
+// hard links — not the file system.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mdsim {
+
+class AnchorTable {
+ public:
+  /// Anchor `ino`, whose parent chain (from immediate parent up to the
+  /// root, root excluded or included — caller's choice, resolve stops at
+  /// a missing entry) is `parent_chain[0] = parent of ino`, etc.
+  void anchor(InodeId ino, const std::vector<InodeId>& parent_chain);
+
+  /// Remove one anchor on `ino` (e.g. the extra link was unlinked).
+  /// Returns false if `ino` was not anchored.
+  bool unanchor(InodeId ino);
+
+  /// Resolve an anchored inode to its ancestor chain, nearest first.
+  /// Empty if the inode is not anchored.
+  std::vector<InodeId> resolve(InodeId ino) const;
+
+  bool is_anchored(InodeId ino) const { return table_.count(ino) != 0; }
+
+  /// A directory in the table moved: point its entry at the new parent
+  /// and splice refcounts from the old chain to the new one. `new_chain`
+  /// is the moved directory's new parent chain (nearest first). This is
+  /// the fixed-cost rename update the paper contrasts with LH's
+  /// million-entry rehash.
+  void on_directory_move(InodeId dir, const std::vector<InodeId>& new_chain);
+
+  std::size_t size() const { return table_.size(); }
+
+  /// Internal refcount for tests.
+  std::uint32_t refs(InodeId ino) const;
+
+ private:
+  struct Entry {
+    InodeId parent = kInvalidInode;
+    std::uint32_t nref = 0;
+  };
+
+  void add_chain(InodeId ino, const std::vector<InodeId>& parent_chain);
+  void drop_chain(InodeId start);
+
+  std::unordered_map<InodeId, Entry> table_;
+};
+
+}  // namespace mdsim

@@ -1,0 +1,52 @@
+#include "storage/journal.h"
+
+#include <cassert>
+
+namespace mdsim {
+
+BoundedJournal::BoundedJournal(std::size_t capacity,
+                               std::function<void(InodeId)> on_writeback)
+    : capacity_(capacity), on_writeback_(std::move(on_writeback)) {
+  assert(capacity_ > 0);
+}
+
+void BoundedJournal::append(InodeId ino) {
+  ++appends_;
+  log_.push_back(Slot{ino, next_seq_});
+  live_[ino] = next_seq_;
+  ++next_seq_;
+
+  while (log_.size() > capacity_) {
+    Slot tail = log_.front();
+    log_.pop_front();
+    auto it = live_.find(tail.ino);
+    if (it != live_.end() && it->second == tail.seq) {
+      // Still live: must be persisted to tier 2.
+      live_.erase(it);
+      ++writebacks_;
+      if (on_writeback_) on_writeback_(tail.ino);
+    } else {
+      // Superseded by a later entry — a hole; absorbed by the log.
+      ++superseded_expiries_;
+    }
+  }
+}
+
+std::vector<InodeId> BoundedJournal::replay() const {
+  std::vector<InodeId> out;
+  out.reserve(live_.size());
+  for (const Slot& s : log_) {
+    auto it = live_.find(s.ino);
+    if (it != live_.end() && it->second == s.seq) out.push_back(s.ino);
+  }
+  return out;
+}
+
+double BoundedJournal::absorption_rate() const {
+  const std::uint64_t expired = writebacks_ + superseded_expiries_;
+  if (expired == 0) return 0.0;
+  return static_cast<double>(superseded_expiries_) /
+         static_cast<double>(expired);
+}
+
+}  // namespace mdsim

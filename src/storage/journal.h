@@ -1,0 +1,68 @@
+// Bounded per-MDS update journal (paper section 4.6).
+//
+// "We utilize a bounded log structure for the immediate storage of updates
+//  on each metadata server. Entries that fall off the end of the log
+//  without subsequent modifications are written to a second, more
+//  permanent, tier of storage. With a log size on the order of the amount
+//  of memory in the MDS ... the log represents an approximation of that
+//  node's working set, allowing the memory cache to be quickly preloaded
+//  with millions of records on startup or after a failure."
+//
+// The journal tracks, per inode, its most recent position in the bounded
+// log. Re-modifying an inode moves it to the head (the old entry becomes a
+// hole and never triggers a writeback). When an entry is pushed off the
+// tail and is still live (not superseded), it must be written back to
+// tier 2 — the caller receives it via the eviction callback.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mdsim {
+
+class BoundedJournal {
+ public:
+  /// `capacity` = number of log slots (≈ MDS cache size per the paper).
+  /// `on_writeback(ino)` fires when a live entry falls off the tail.
+  BoundedJournal(std::size_t capacity,
+                 std::function<void(InodeId)> on_writeback);
+
+  /// Record an update to `ino`. If the inode already has a live entry it
+  /// is superseded (no writeback for the old position).
+  void append(InodeId ino);
+
+  /// Inodes with live entries, oldest first — the approximate working set
+  /// used to preload the cache on startup/failover (cache warming).
+  std::vector<InodeId> replay() const;
+
+  bool contains(InodeId ino) const { return live_.count(ino) != 0; }
+  std::size_t live_entries() const { return live_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t total_appends() const { return appends_; }
+  std::uint64_t writebacks() const { return writebacks_; }
+  /// Fraction of expired entries that were superseded (no writeback
+  /// needed); high values mean the log is absorbing overwrites.
+  double absorption_rate() const;
+
+ private:
+  struct Slot {
+    InodeId ino;
+    std::uint64_t seq;
+  };
+
+  std::size_t capacity_;
+  std::function<void(InodeId)> on_writeback_;
+  std::deque<Slot> log_;
+  std::unordered_map<InodeId, std::uint64_t> live_;  // ino -> newest seq
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t appends_ = 0;
+  std::uint64_t writebacks_ = 0;
+  std::uint64_t superseded_expiries_ = 0;
+};
+
+}  // namespace mdsim

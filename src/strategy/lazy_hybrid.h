@@ -1,0 +1,73 @@
+// Lazy Hybrid (LH) metadata management (paper section 3.1.3; Brandt et
+// al. 2003).
+//
+// LH hashes each file's full path name to place metadata, and avoids path
+// traversal by storing a *dual-entry access control list* with every file:
+// the pre-computed net effect of the whole ancestor permission chain. Two
+// events invalidate that stored state for every file nested beneath a
+// directory:
+//   * chmod on a directory (the effective permissions change), and
+//   * rename/move of a directory (the path hash — and hence the metadata
+//     *location* — of every nested file changes).
+// LH queues this work and applies it lazily: a stale file is fixed up when
+// next accessed (paying the full path traversal that LH normally avoids,
+// plus one update trip), or by a background drain that amortizes "one
+// network trip per affected file".
+//
+// This class tracks staleness with permission epochs: every directory has
+// an epoch counter bumped on chmod/rename; a file's effective epoch is the
+// sum over its ancestors. A file is stale while its stored epoch is behind
+// its effective epoch.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "fstree/tree.h"
+
+namespace mdsim {
+
+class LazyHybridManager {
+ public:
+  explicit LazyHybridManager(FsTree& tree) : tree_(tree) {}
+
+  /// A directory's permissions changed or the directory moved: all files
+  /// beneath it become stale and are queued for lazy update.
+  /// Returns the number of affected (queued) items, i.e. the subtree size.
+  std::uint64_t invalidate_subtree(FsNode* dir);
+
+  /// Effective permission epoch of a node (sum of ancestor-dir epochs).
+  std::uint64_t effective_epoch(const FsNode* node) const;
+
+  /// True if `node`'s stored dual-entry ACL is out of date.
+  bool is_stale(const FsNode* node) const;
+
+  /// Record that `node`'s stored ACL now reflects the current hierarchy
+  /// (after an on-access fixup or a background drain step).
+  void refresh(const FsNode* node);
+
+  /// Pop the next stale file from the lazy-update queue; nullptr when the
+  /// queue is drained. Each call models one background update (one network
+  /// trip per affected file). Fresh or deleted entries are skipped for
+  /// free, mirroring LH's superseded-update elision.
+  FsNode* drain_one();
+
+  /// Outstanding queued updates (upper bound; skips not yet discounted).
+  std::size_t pending() const { return queue_.size(); }
+
+  std::uint64_t total_invalidations() const { return total_invalidations_; }
+  std::uint64_t total_refreshes() const { return total_refreshes_; }
+
+ private:
+  FsTree& tree_;
+  std::unordered_map<InodeId, std::uint64_t> dir_epoch_;
+  std::unordered_map<InodeId, std::uint64_t> stored_epoch_;
+  std::deque<InodeId> queue_;
+  std::uint64_t total_invalidations_ = 0;
+  std::uint64_t total_refreshes_ = 0;
+};
+
+}  // namespace mdsim

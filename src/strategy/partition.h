@@ -1,0 +1,135 @@
+// Metadata partitioning strategies (paper sections 3.1 and 4.1).
+//
+// A Partitioner answers the single question every MDS asks on every
+// request: which node is *authoritative* for this item? The five
+// strategies the paper evaluates differ in how that answer is derived and
+// in a set of behavioural traits (directory-granularity storage, path
+// traversal, client location knowledge, adaptivity) captured by
+// StrategyTraits.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "fstree/tree.h"
+
+namespace mdsim {
+
+enum class StrategyKind : std::uint8_t {
+  kDynamicSubtree,
+  kStaticSubtree,
+  kDirHash,
+  kFileHash,
+  kLazyHybrid,
+};
+
+constexpr const char* strategy_name(StrategyKind k) {
+  switch (k) {
+    case StrategyKind::kDynamicSubtree: return "DynamicSubtree";
+    case StrategyKind::kStaticSubtree: return "StaticSubtree";
+    case StrategyKind::kDirHash: return "DirHash";
+    case StrategyKind::kFileHash: return "FileHash";
+    case StrategyKind::kLazyHybrid: return "LazyHybrid";
+  }
+  return "?";
+}
+
+/// Behavioural differences between strategies (paper sections 3 and 5.1:
+/// "the hashing and static subtree servers implement subsets of this
+/// functionality to accommodate the different partitioning mechanisms").
+struct StrategyTraits {
+  /// Directory contents (with embedded inodes) are stored and fetched as
+  /// one object, enabling whole-directory prefetch (subtree + dirhash).
+  bool whole_directory_io = true;
+  /// Serving a request requires traversing and caching prefix (ancestor)
+  /// inodes (everything except Lazy Hybrid).
+  bool path_traversal = true;
+  /// Clients can compute metadata locations themselves (hash strategies);
+  /// otherwise they learn locations from replies (subtree strategies,
+  /// enabling traffic control through client ignorance).
+  bool client_computes_location = false;
+  /// The partition adapts at runtime (dynamic subtree only).
+  bool load_balancing = false;
+  /// Popular metadata is replicated and clients redirected (dynamic only).
+  bool traffic_control = false;
+  /// Directory-granularity delegation may be overridden per-dentry by
+  /// dynamic directory fragmentation (dynamic subtree only).
+  bool dynamic_dirfrag = false;
+};
+
+StrategyTraits traits_for(StrategyKind kind);
+
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+  /// Authoritative MDS for this node's metadata (its dentry + embedded
+  /// inode at the primary link).
+  virtual MdsId authority_of(const FsNode* node) const = 0;
+  virtual StrategyKind kind() const = 0;
+};
+
+/// Subtree partition: an explicit map of delegation points. Authority of a
+/// node = delegation point nearest to it on its parent chain. The root is
+/// always a delegation point. (Paper section 4.1: "delegations may be
+/// nested".)
+class SubtreePartition final : public Partitioner {
+ public:
+  SubtreePartition(StrategyKind kind, int num_mds);
+
+  MdsId authority_of(const FsNode* node) const override;
+  StrategyKind kind() const override { return kind_; }
+
+  /// Install/replace a delegation point. Returns the previous holder of
+  /// the subtree (its effective authority before this call).
+  MdsId delegate(const FsNode* subtree_root, MdsId to);
+  /// Remove a delegation point, folding the subtree back into the
+  /// enclosing delegation. No-op on the root.
+  void undelegate(const FsNode* subtree_root);
+  bool is_delegation_point(const FsNode* node) const;
+  MdsId delegation_at(InodeId ino) const;
+
+  /// All delegation points currently assigned to `mds`, with their nodes.
+  std::vector<const FsNode*> delegations_of(MdsId mds) const;
+  std::size_t delegation_count() const { return delegation_.size(); }
+
+  /// Build the paper's initial partition: "hashing directories near the
+  /// root of the hierarchy" — every directory at `depth` (children of the
+  /// root's children by default) is delegated by hash.
+  void initialize_by_hashing_top_dirs(const FsTree& tree, int depth = 2);
+
+  int num_mds() const { return num_mds_; }
+
+ private:
+  StrategyKind kind_;
+  int num_mds_;
+  std::unordered_map<InodeId, MdsId> delegation_;
+  std::unordered_map<InodeId, const FsNode*> nodes_;
+};
+
+/// Hash partition: authority derived from a path hash. In kDirHash mode a
+/// dentry lives with its containing directory (directory contents grouped
+/// on one node); in kFileHash/kLazyHybrid mode every file hashes
+/// independently by its own full path.
+class HashPartition final : public Partitioner {
+ public:
+  HashPartition(StrategyKind kind, int num_mds);
+
+  MdsId authority_of(const FsNode* node) const override;
+  StrategyKind kind() const override { return kind_; }
+
+  int num_mds() const { return num_mds_; }
+
+ private:
+  StrategyKind kind_;
+  int num_mds_;
+};
+
+std::unique_ptr<Partitioner> make_partitioner(StrategyKind kind, int num_mds,
+                                              const FsTree& tree);
+
+}  // namespace mdsim

@@ -1,0 +1,32 @@
+#include "workload/flash_crowd.h"
+
+#include <cassert>
+
+namespace mdsim {
+
+FlashCrowdWorkload::FlashCrowdWorkload(FsTree& tree, FsNode* target,
+                                       FlashCrowdParams params)
+    : tree_(tree), target_(target), params_(params) {
+  assert(target_ != nullptr);
+}
+
+SimTime FlashCrowdWorkload::next(ClientId c, SimTime now, Rng& rng,
+                                 Operation* out) {
+  (void)c;
+  if (!tree_.alive(target_)) return kNever;
+  if (now >= params_.start + params_.duration) return kNever;
+
+  out->op = OpType::kOpen;
+  out->target = target_;
+  out->secondary = nullptr;
+  out->name.clear();
+
+  if (now < params_.start) {
+    // Everyone fires (almost) at once when the crowd begins.
+    return params_.start - now + rng.uniform(params_.skew);
+  }
+  return static_cast<SimTime>(
+      rng.exponential(static_cast<double>(params_.think)));
+}
+
+}  // namespace mdsim

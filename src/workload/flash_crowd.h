@@ -1,0 +1,37 @@
+// Flash-crowd workload (paper section 5.4 / figure 7): a large number of
+// clients "simultaneously request the same file, a scenario typical of
+// many scientific computing workloads". Clients are idle until the crowd
+// begins, then re-request the target in a tight closed loop for the burst
+// window, then go quiet.
+#pragma once
+
+#include "workload/workload.h"
+
+namespace mdsim {
+
+struct FlashCrowdParams {
+  SimTime start = 8 * kSecond;
+  SimTime duration = from_millis(250);
+  /// Think time between a client's successive requests during the crowd.
+  SimTime think = from_millis(2);
+  /// Small per-client skew of the first request.
+  SimTime skew = from_millis(5);
+};
+
+class FlashCrowdWorkload final : public Workload {
+ public:
+  FlashCrowdWorkload(FsTree& tree, FsNode* target,
+                     FlashCrowdParams params = {});
+
+  SimTime next(ClientId c, SimTime now, Rng& rng, Operation* out) override;
+  std::string name() const override { return "flash_crowd"; }
+
+  FsNode* target() const { return target_; }
+
+ private:
+  FsTree& tree_;
+  FsNode* target_;
+  FlashCrowdParams params_;
+};
+
+}  // namespace mdsim

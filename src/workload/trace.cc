@@ -1,0 +1,106 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mdsim {
+
+int Trace::num_clients() const {
+  ClientId max_id = -1;
+  for (const TraceEvent& ev : events_) max_id = std::max(max_id, ev.client);
+  return static_cast<int>(max_id) + 1;
+}
+
+void Trace::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("Trace::save: cannot open " + path);
+  out << "client,think_ns,op,target_ino,secondary_ino,name\n";
+  for (const TraceEvent& ev : events_) {
+    out << ev.client << ',' << ev.think << ','
+        << static_cast<int>(ev.op) << ',' << ev.target << ','
+        << ev.secondary << ',' << ev.name << '\n';
+  }
+}
+
+Trace Trace::load(const std::string& path) {
+  Trace trace;
+  std::ifstream in(path);
+  if (!in) return trace;
+  std::string line;
+  std::getline(in, line);  // header
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    TraceEvent ev;
+    char comma;
+    int op_int = 0;
+    ss >> ev.client >> comma >> ev.think >> comma >> op_int >> comma >>
+        ev.target >> comma >> ev.secondary >> comma;
+    std::getline(ss, ev.name);
+    ev.op = static_cast<OpType>(op_int);
+    trace.append(ev);
+  }
+  return trace;
+}
+
+SimTime RecordingWorkload::next(ClientId c, SimTime now, Rng& rng,
+                                Operation* out) {
+  const SimTime delay = inner_->next(c, now, rng, out);
+  if (delay == kNever) return kNever;
+  TraceEvent ev;
+  ev.client = c;
+  ev.think = delay;
+  ev.op = out->op;
+  ev.target = out->target != nullptr ? out->target->ino() : kInvalidInode;
+  ev.secondary =
+      out->secondary != nullptr ? out->secondary->ino() : kInvalidInode;
+  ev.name = out->name;
+  trace_.append(ev);
+  return delay;
+}
+
+TraceWorkload::TraceWorkload(FsTree& tree, Trace trace)
+    : tree_(tree), trace_(std::move(trace)) {
+  cursors_.resize(static_cast<std::size_t>(
+      std::max(1, trace_.num_clients())));
+  for (std::size_t i = 0; i < trace_.events().size(); ++i) {
+    const TraceEvent& ev = trace_.events()[i];
+    if (ev.client < 0) continue;
+    cursors_[static_cast<std::size_t>(ev.client)].events.push_back(i);
+  }
+}
+
+SimTime TraceWorkload::next(ClientId c, SimTime now, Rng& rng,
+                            Operation* out) {
+  (void)now;
+  (void)rng;
+  if (static_cast<std::size_t>(c) >= cursors_.size()) return kNever;
+  Cursor& cur = cursors_[static_cast<std::size_t>(c)];
+  while (cur.next < cur.events.size()) {
+    const TraceEvent& ev = trace_.events()[cur.events[cur.next++]];
+    FsNode* target = tree_.by_ino(ev.target);
+    if (target == nullptr) {
+      // The item was unlinked before this point in the replay (or the
+      // snapshot does not match); skip, as trace replayers do.
+      ++skipped_;
+      continue;
+    }
+    FsNode* secondary = ev.secondary != kInvalidInode
+                            ? tree_.by_ino(ev.secondary)
+                            : nullptr;
+    if (ev.secondary != kInvalidInode && secondary == nullptr) {
+      ++skipped_;
+      continue;
+    }
+    out->op = ev.op;
+    out->target = target;
+    out->secondary = secondary;
+    out->name = ev.name;
+    return ev.think;
+  }
+  return kNever;  // this client's trace is exhausted
+}
+
+}  // namespace mdsim

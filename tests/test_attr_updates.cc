@@ -1,0 +1,136 @@
+// Distributed attribute updates (GPFS-style, paper section 4.2).
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace mdsim {
+namespace {
+
+class AttrUpdateTest : public ::testing::Test {
+ protected:
+  void build(bool enabled) {
+    SimConfig cfg = manual_config(StrategyKind::kDynamicSubtree);
+    cfg.mds.distributed_attr_updates = enabled;
+    cfg.mds.replication_threshold = 20.0;  // easy to replicate the file
+    cfg.mds.attr_flush_period = 300 * kMillisecond;
+    cluster = std::make_unique<ClusterSim>(cfg);
+    client.attach(*cluster);
+  }
+
+  void run_for(SimTime dt) { cluster->run_until(cluster->sim().now() + dt); }
+
+  /// Hammer a file with stats until traffic control replicates it.
+  FsNode* make_replicated_file() {
+    FsNode* f = find_world_readable_file(cluster->tree());
+    EXPECT_NE(f, nullptr);
+    const MdsId auth = cluster->mds(0).authority_for(f);
+    for (int i = 0; i < 40; ++i) {
+      client.send(auth, OpType::kStat, f);
+      run_for(2 * kMillisecond);
+    }
+    run_for(100 * kMillisecond);
+    EXPECT_TRUE(cluster->mds(auth).is_replicated_everywhere(f->ino()));
+    return f;
+  }
+
+  std::unique_ptr<ClusterSim> cluster;
+  TestClient client;
+};
+
+TEST_F(AttrUpdateTest, ReplicaAbsorbsWritesAndFlushes) {
+  build(true);
+  FsNode* f = make_replicated_file();
+  const MdsId auth = cluster->mds(0).authority_for(f);
+  const MdsId holder = (auth + 1) % cluster->num_mds();
+  ASSERT_NE(cluster->mds(holder).cache().peek(f->ino()), nullptr);
+
+  const std::uint64_t size_before = f->inode().size;
+  const std::size_t replies_before = client.replies.size();
+  for (int i = 0; i < 10; ++i) {
+    client.send(holder, OpType::kSetattr, f);
+    run_for(5 * kMillisecond);
+  }
+  // All ten writes answered locally by the holder — no forwarding.
+  ASSERT_EQ(client.replies.size(), replies_before + 10);
+  for (std::size_t i = replies_before; i < client.replies.size(); ++i) {
+    EXPECT_TRUE(client.replies[i].success);
+    EXPECT_EQ(client.replies[i].served_by, holder);
+    EXPECT_EQ(client.replies[i].hops, 0);
+  }
+  EXPECT_GE(cluster->mds(holder).stats().attr_local_updates, 10u);
+  // The ground truth has not advanced yet (deltas are pending)...
+  EXPECT_EQ(f->inode().size, size_before);
+  // ...until the periodic flush ships them as one batch.
+  run_for(kSecond);
+  EXPECT_GE(cluster->mds(auth).stats().attr_flushes_applied, 1u);
+  EXPECT_GE(f->inode().size, size_before + 10);
+}
+
+TEST_F(AttrUpdateTest, ReadAtAuthorityCallsDeltasIn) {
+  build(true);
+  FsNode* f = make_replicated_file();
+  const MdsId auth = cluster->mds(0).authority_for(f);
+  const MdsId holder = (auth + 1) % cluster->num_mds();
+  const std::uint64_t size_before = f->inode().size;
+  client.send(holder, OpType::kSetattr, f);
+  run_for(10 * kMillisecond);  // well inside the flush period
+  ASSERT_EQ(f->inode().size, size_before);
+
+  // A stat at the authority must observe the absorbed write.
+  client.send(auth, OpType::kStat, f);
+  run_for(100 * kMillisecond);
+  EXPECT_TRUE(client.last().success);
+  EXPECT_GE(cluster->mds(auth).stats().attr_callbacks, 1u);
+  EXPECT_GE(f->inode().size, size_before + 1);
+}
+
+TEST_F(AttrUpdateTest, DisabledPathForwardsToAuthority) {
+  build(false);
+  FsNode* f = make_replicated_file();
+  const MdsId auth = cluster->mds(0).authority_for(f);
+  const MdsId holder = (auth + 1) % cluster->num_mds();
+  client.send(holder, OpType::kSetattr, f);
+  run_for(100 * kMillisecond);
+  EXPECT_TRUE(client.last().success);
+  EXPECT_EQ(client.last().served_by, auth);
+  EXPECT_EQ(client.last().hops, 1);
+  EXPECT_EQ(cluster->mds(holder).stats().attr_local_updates, 0u);
+}
+
+TEST_F(AttrUpdateTest, ReadSurvivesDirtyHolderFailure) {
+  build(true);
+  FsNode* f = make_replicated_file();
+  const MdsId auth = cluster->mds(0).authority_for(f);
+  const MdsId holder = (auth + 1) % cluster->num_mds();
+  client.send(holder, OpType::kSetattr, f);
+  run_for(10 * kMillisecond);
+  // The holder dies with unflushed deltas; the read must not hang.
+  cluster->fail_mds(holder, /*warm_takeover=*/false);
+  client.send(auth, OpType::kStat, f);
+  run_for(200 * kMillisecond);
+  EXPECT_TRUE(client.last().success);
+}
+
+TEST_F(AttrUpdateTest, DirectoriesNeverAbsorbLocally) {
+  build(true);
+  // Replicate a *directory* via traffic control, then setattr it at a
+  // holder: directories take the normal authority path.
+  FsNode* dir = cluster->namespace_info().user_roots[1];
+  const MdsId auth = cluster->mds(0).authority_for(dir);
+  for (int i = 0; i < 40; ++i) {
+    client.send(auth, OpType::kStat, dir);
+    run_for(2 * kMillisecond);
+  }
+  run_for(100 * kMillisecond);
+  const MdsId holder = (auth + 1) % cluster->num_mds();
+  if (cluster->mds(holder).cache().peek(dir->ino()) == nullptr) {
+    GTEST_SKIP() << "directory not replicated in this layout";
+  }
+  client.send(holder, OpType::kSetattr, dir);
+  run_for(100 * kMillisecond);
+  EXPECT_TRUE(client.last().success);
+  EXPECT_EQ(cluster->mds(holder).stats().attr_local_updates, 0u);
+}
+
+}  // namespace
+}  // namespace mdsim

@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cache/metadata_cache.h"
+#include "common/rng.h"
+#include "fstree/tree.h"
+
+namespace mdsim {
+namespace {
+
+class CacheTest : public ::testing::Test {
+ protected:
+  CacheTest() {
+    dir_a = tree.mkdir(tree.root(), "a");
+    dir_b = tree.mkdir(tree.root(), "b");
+    for (int i = 0; i < 20; ++i) {
+      files.push_back(tree.create_file(dir_a, "f" + std::to_string(i)));
+    }
+  }
+
+  /// Insert a node and its ancestors (as prefixes).
+  CacheEntry* insert_chain(MetadataCache& c, FsNode* node,
+                           InsertKind kind = InsertKind::kDemand,
+                           SimTime now = 0) {
+    for (FsNode* n : node->ancestry()) {
+      if (n == node) return c.insert(n, kind, true, now);
+      if (c.peek(n->ino()) == nullptr) {
+        c.insert(n, InsertKind::kPrefix, true, now);
+      }
+    }
+    return nullptr;
+  }
+
+  FsTree tree;
+  FsNode* dir_a;
+  FsNode* dir_b;
+  std::vector<FsNode*> files;
+};
+
+TEST_F(CacheTest, HitAndMissAccounting) {
+  MetadataCache c(100);
+  insert_chain(c, files[0]);
+  EXPECT_NE(c.lookup(files[0]->ino(), 0), nullptr);
+  EXPECT_EQ(c.lookup(files[1]->ino(), 0), nullptr);
+  EXPECT_EQ(c.stats().hits, 1u);
+  EXPECT_EQ(c.stats().misses, 1u);
+  EXPECT_DOUBLE_EQ(c.stats().hit_rate(), 0.5);
+  // Peek and uncounted lookups do not skew the stats.
+  c.peek(files[0]->ino());
+  c.lookup(files[0]->ino(), 0, /*count_stats=*/false);
+  EXPECT_EQ(c.stats().hits, 1u);
+}
+
+TEST_F(CacheTest, LruEvictsColdestLeaf) {
+  MetadataCache c(6);
+  for (int i = 0; i < 4; ++i) insert_chain(c, files[i]);
+  // Cache: root, a, f0..f3 = 6 entries. Touch f0 so f1 is the coldest.
+  c.lookup(files[0]->ino(), 1);
+  insert_chain(c, files[4]);
+  EXPECT_EQ(c.size(), 6u);
+  EXPECT_EQ(c.peek(files[1]->ino()), nullptr);   // evicted
+  EXPECT_NE(c.peek(files[0]->ino()), nullptr);   // protected by touch
+  EXPECT_NE(c.peek(dir_a->ino()), nullptr);      // prefix pinned by children
+  EXPECT_EQ(c.check_invariants(), "");
+}
+
+TEST_F(CacheTest, TreeInvariantProtectsAncestors) {
+  MetadataCache c(4);
+  insert_chain(c, files[0]);  // root, a, f0
+  insert_chain(c, files[1]);  // + f1 -> at capacity
+  insert_chain(c, files[2]);  // forces eviction: must take f0 or f1
+  EXPECT_NE(c.peek(tree.root()->ino()), nullptr);
+  EXPECT_NE(c.peek(dir_a->ino()), nullptr);
+  EXPECT_EQ(c.check_invariants(), "");
+}
+
+TEST_F(CacheTest, OnlyLeavesExpire) {
+  MetadataCache c(1000);
+  for (FsNode* f : files) insert_chain(c, f);
+  // dir_a anchors 20 children: erase must refuse.
+  EXPECT_FALSE(c.erase(dir_a->ino()));
+  EXPECT_TRUE(c.erase(files[0]->ino()));
+  EXPECT_EQ(c.peek(files[0]->ino()), nullptr);
+  EXPECT_EQ(c.check_invariants(), "");
+}
+
+TEST_F(CacheTest, PinnedEntriesNeverEvicted) {
+  MetadataCache c(4);
+  CacheEntry* e = insert_chain(c, files[0]);
+  c.pin(e);
+  for (int i = 1; i < 10; ++i) insert_chain(c, files[i]);
+  EXPECT_NE(c.peek(files[0]->ino()), nullptr);
+  EXPECT_FALSE(c.erase(files[0]->ino()));
+  c.unpin(e);
+  EXPECT_TRUE(c.erase(files[0]->ino()));
+}
+
+TEST_F(CacheTest, PrefetchedEvictedBeforeDemand) {
+  MetadataCache c(7);
+  insert_chain(c, files[0]);  // root, a, f0 (demand)
+  c.insert(files[1], InsertKind::kPrefetch, true, 0);
+  c.insert(files[2], InsertKind::kPrefetch, true, 0);
+  c.insert(files[3], InsertKind::kDemand, true, 0);
+  // 7 entries; add two more to force evictions.
+  c.insert(files[4], InsertKind::kDemand, true, 1);
+  c.insert(files[5], InsertKind::kDemand, true, 1);
+  // Probation (prefetched, untouched) must go first.
+  EXPECT_EQ(c.peek(files[1]->ino()), nullptr);
+  EXPECT_NE(c.peek(files[0]->ino()), nullptr);
+  EXPECT_NE(c.peek(files[3]->ino()), nullptr);
+}
+
+TEST_F(CacheTest, PrefetchHitPromotesToMain) {
+  MetadataCache c(7);
+  insert_chain(c, files[0]);
+  c.insert(files[1], InsertKind::kPrefetch, true, 0);
+  c.insert(files[2], InsertKind::kPrefetch, true, 0);
+  // Touch the first prefetched entry: it graduates out of probation.
+  EXPECT_NE(c.lookup(files[1]->ino(), 1), nullptr);
+  c.insert(files[3], InsertKind::kDemand, true, 2);
+  c.insert(files[4], InsertKind::kDemand, true, 2);
+  c.insert(files[5], InsertKind::kDemand, true, 2);
+  // files[2] (still probation) evicted before promoted files[1].
+  EXPECT_EQ(c.peek(files[2]->ino()), nullptr);
+  EXPECT_NE(c.peek(files[1]->ino()), nullptr);
+}
+
+TEST_F(CacheTest, EvictionCallbackFires) {
+  MetadataCache c(3);
+  std::vector<InodeId> evicted;
+  c.set_evict_callback(
+      [&](const CacheEntry& e) { evicted.push_back(e.node->ino()); });
+  insert_chain(c, files[0]);
+  insert_chain(c, files[1]);  // evicts f0 (root+a pinned by tree invariant)
+  EXPECT_EQ(evicted, std::vector<InodeId>{files[0]->ino()});
+  // erase() is not an eviction: no callback.
+  c.erase(files[1]->ino());
+  EXPECT_EQ(evicted.size(), 1u);
+}
+
+TEST_F(CacheTest, ReplicaAccounting) {
+  MetadataCache c(100);
+  c.insert(tree.root(), InsertKind::kDemand, false, 0);
+  c.insert(dir_a, InsertKind::kPrefix, false, 0);
+  EXPECT_EQ(c.replica_count(), 2u);
+  // Upgrading to authoritative reduces the replica count.
+  c.insert(dir_a, InsertKind::kPrefix, true, 1);
+  EXPECT_EQ(c.replica_count(), 1u);
+  EXPECT_EQ(c.check_invariants(), "");
+}
+
+TEST_F(CacheTest, PrefixAccountingFollowsDemandAccess) {
+  MetadataCache c(100);
+  c.insert(tree.root(), InsertKind::kPrefix, true, 0);
+  c.insert(dir_a, InsertKind::kPrefix, true, 0);
+  EXPECT_EQ(c.prefix_count(), 2u);
+  // A demand access on the directory clears its prefix status.
+  CacheEntry* e = c.peek(dir_a->ino());
+  c.mark_demand_access(e);
+  EXPECT_EQ(c.prefix_count(), 1u);
+  // Files never count as prefix inodes.
+  c.insert(files[0], InsertKind::kPrefetch, true, 0);
+  EXPECT_EQ(c.prefix_count(), 1u);
+}
+
+TEST_F(CacheTest, PrefixFractionCountsAnchoringDirs) {
+  MetadataCache c(100);
+  insert_chain(c, files[0]);
+  // root + a are anchoring prefixes; f0 is a demand file.
+  EXPECT_NEAR(c.prefix_fraction(), 2.0 / 3.0, 1e-9);
+}
+
+TEST_F(CacheTest, AnchorParentSurvivesRename) {
+  MetadataCache c(100);
+  insert_chain(c, files[0]);
+  insert_chain(c, dir_b, InsertKind::kDemand);
+  // Move the cached file to another directory in the ground truth.
+  ASSERT_TRUE(tree.rename(files[0], dir_b, "moved"));
+  // The cache still accounts against the old parent; removing the entry
+  // must not corrupt the counts.
+  EXPECT_TRUE(c.erase(files[0]->ino()));
+  EXPECT_EQ(c.check_invariants(), "");
+  EXPECT_TRUE(c.erase(dir_a->ino()));  // no children left
+  EXPECT_EQ(c.check_invariants(), "");
+}
+
+TEST_F(CacheTest, CapacityShrinkEvicts) {
+  MetadataCache c(50);
+  for (int i = 0; i < 10; ++i) insert_chain(c, files[i]);
+  EXPECT_EQ(c.size(), 12u);
+  c.set_capacity(5);
+  EXPECT_LE(c.size(), 5u);
+  EXPECT_EQ(c.check_invariants(), "");
+}
+
+TEST_F(CacheTest, OverflowWhenEverythingPinned) {
+  MetadataCache c(2);
+  CacheEntry* r = c.insert(tree.root(), InsertKind::kDemand, true, 0);
+  c.pin(r);
+  CacheEntry* a = c.insert(dir_a, InsertKind::kDemand, true, 0);
+  c.pin(a);
+  // Third insert cannot evict anything (root/a pinned, f anchored by its
+  // own insertion pin) -> cache temporarily overflows instead of dying.
+  CacheEntry* f = c.insert(files[0], InsertKind::kDemand, true, 0);
+  EXPECT_NE(f, nullptr);
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.check_invariants(), "");
+}
+
+TEST_F(CacheTest, LazyHybridModeSkipsTreeInvariant) {
+  MetadataCache c(10, /*enforce_tree=*/false);
+  // Free-standing insert without ancestors.
+  CacheEntry* e = c.insert(files[5], InsertKind::kDemand, true, 0);
+  EXPECT_NE(e, nullptr);
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_TRUE(c.erase(files[5]->ino()));
+  EXPECT_EQ(c.check_invariants(), "");
+}
+
+TEST_F(CacheTest, PopularityDecays) {
+  MetadataCache c(10);
+  CacheEntry* e = insert_chain(c, files[0]);
+  for (int i = 0; i < 16; ++i) c.lookup(files[0]->ino(), 0);
+  const double hot = e->popularity.get(0);
+  const double later = e->popularity.get(60 * kSecond);
+  EXPECT_GT(hot, 10.0);
+  EXPECT_LT(later, 0.01);
+}
+
+// Property test: random insert/lookup/erase sequences never violate the
+// cache's structural invariants.
+class CacheProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CacheProperty, RandomOpsPreserveInvariants) {
+  FsTree tree;
+  Rng rng(GetParam());
+  // Build a small random hierarchy.
+  std::vector<FsNode*> dirs{tree.root()};
+  std::vector<FsNode*> nodes;
+  for (int i = 0; i < 60; ++i) {
+    FsNode* parent = dirs[rng.uniform(dirs.size())];
+    if (rng.bernoulli(0.3)) {
+      FsNode* d = tree.mkdir(parent, "d" + std::to_string(i));
+      if (d != nullptr) {
+        dirs.push_back(d);
+        nodes.push_back(d);
+      }
+    } else {
+      FsNode* f = tree.create_file(parent, "f" + std::to_string(i));
+      if (f != nullptr) nodes.push_back(f);
+    }
+  }
+  MetadataCache c(24);
+  SimTime now = 0;
+  for (int step = 0; step < 3000; ++step) {
+    now += kMillisecond;
+    FsNode* n = nodes[rng.uniform(nodes.size())];
+    const double action = rng.uniform_double();
+    if (action < 0.5) {
+      // Insert with full ancestry.
+      for (FsNode* a : n->ancestry()) {
+        if (a == n) {
+          const InsertKind kind =
+              rng.bernoulli(0.3) ? InsertKind::kPrefetch : InsertKind::kDemand;
+          c.insert(a, kind, rng.bernoulli(0.8), now);
+        } else if (c.peek(a->ino()) == nullptr) {
+          c.insert(a, InsertKind::kPrefix, rng.bernoulli(0.8), now);
+        }
+      }
+    } else if (action < 0.8) {
+      c.lookup(n->ino(), now);
+    } else {
+      c.erase(n->ino());
+    }
+    if (step % 250 == 0) {
+      ASSERT_EQ(c.check_invariants(), "") << "step " << step;
+      ASSERT_LE(c.size(), 24u + 1u);
+    }
+  }
+  EXPECT_EQ(c.check_invariants(), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace mdsim

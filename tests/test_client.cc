@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "client/location_cache.h"
+
+namespace mdsim {
+namespace {
+
+class LocationCacheTest : public ::testing::Test {
+ protected:
+  LocationCacheTest() {
+    a = tree.mkdir(tree.root(), "a");
+    b = tree.mkdir(a, "b");
+    f = tree.create_file(b, "f");
+  }
+
+  LocationHint hint(InodeId ino, MdsId auth, bool everywhere = false) {
+    LocationHint h;
+    h.ino = ino;
+    h.authority = auth;
+    h.replicated_everywhere = everywhere;
+    return h;
+  }
+
+  FsTree tree;
+  FsNode* a;
+  FsNode* b;
+  FsNode* f;
+  Rng rng{5};
+};
+
+TEST_F(LocationCacheTest, UnknownTargetsGoToRandomNodes) {
+  LocationCache c;
+  std::map<MdsId, int> counts;
+  for (int i = 0; i < 4000; ++i) ++counts[c.resolve(f, rng, 4)];
+  EXPECT_EQ(counts.size(), 4u);
+  for (const auto& [mds, count] : counts) {
+    EXPECT_GT(mds, -1);
+    EXPECT_NEAR(count, 1000, 150);
+  }
+}
+
+TEST_F(LocationCacheTest, DeepestKnownPrefixWins) {
+  LocationCache c;
+  c.learn({hint(tree.root()->ino(), 0), hint(a->ino(), 1)});
+  EXPECT_EQ(c.resolve(f, rng, 4), 1);
+  c.learn({hint(b->ino(), 2)});
+  EXPECT_EQ(c.resolve(f, rng, 4), 2);
+  c.learn({hint(f->ino(), 3)});
+  EXPECT_EQ(c.resolve(f, rng, 4), 3);
+  // Siblings of f still resolve through b.
+  FsNode* g = tree.create_file(b, "g");
+  EXPECT_EQ(c.resolve(g, rng, 4), 2);
+}
+
+TEST_F(LocationCacheTest, ReplicatedPrefixScattersRequests) {
+  LocationCache c;
+  c.learn({hint(b->ino(), 1, /*everywhere=*/true)});
+  std::map<MdsId, int> counts;
+  for (int i = 0; i < 4000; ++i) ++counts[c.resolve(f, rng, 4)];
+  EXPECT_EQ(counts.size(), 4u);  // spread over all nodes
+}
+
+TEST_F(LocationCacheTest, NewerHintsOverwrite) {
+  LocationCache c;
+  c.learn({hint(b->ino(), 1)});
+  EXPECT_EQ(c.resolve(f, rng, 4), 1);
+  c.learn({hint(b->ino(), 3)});  // subtree migrated
+  EXPECT_EQ(c.resolve(f, rng, 4), 3);
+  ASSERT_NE(c.hint_for(b->ino()), nullptr);
+  EXPECT_EQ(c.hint_for(b->ino())->authority, 3);
+}
+
+TEST_F(LocationCacheTest, CapacityBounded) {
+  LocationCache c(10);
+  std::vector<LocationHint> hints;
+  for (InodeId i = 100; i < 200; ++i) hints.push_back(hint(i, 0));
+  c.learn(hints);
+  EXPECT_LE(c.size(), 10u);
+}
+
+TEST_F(LocationCacheTest, StaleKnowledgeStillResolvesSomewhereValid) {
+  LocationCache c;
+  c.learn({hint(a->ino(), 2)});
+  // The file is renamed far away; resolution by old ancestry still returns
+  // a valid node (the cluster will forward) — client code never breaks.
+  FsNode* elsewhere = tree.mkdir(tree.root(), "elsewhere");
+  ASSERT_TRUE(tree.rename(f, elsewhere, "moved"));
+  const MdsId m = c.resolve(f, rng, 4);
+  EXPECT_GE(m, 0);
+  EXPECT_LT(m, 4);
+}
+
+}  // namespace
+}  // namespace mdsim

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace mdsim {
+namespace {
+
+SimConfig failover_config(std::uint64_t seed = 42) {
+  SimConfig cfg;
+  cfg.strategy = StrategyKind::kDynamicSubtree;
+  cfg.num_mds = 4;
+  cfg.num_clients = 120;
+  cfg.seed = seed;
+  cfg.fs.seed = seed;
+  cfg.fs.num_users = 32;
+  cfg.fs.nodes_per_user = 200;
+  cfg.duration = 30 * kSecond;
+  cfg.warmup = 2 * kSecond;
+  cfg.client_request_timeout = kSecond;  // fast retries for the test
+  return cfg;
+}
+
+TEST(Failover, DelegationsRedistributeToSurvivors) {
+  ClusterSim cluster(failover_config());
+  cluster.run_until(5 * kSecond);
+  auto* subtree = dynamic_cast<SubtreePartition*>(&cluster.partition());
+  ASSERT_NE(subtree, nullptr);
+  const MdsId victim = 1;
+  const auto owned_before = subtree->delegations_of(victim);
+  ASSERT_FALSE(owned_before.empty());
+
+  cluster.fail_mds(victim);
+  EXPECT_TRUE(cluster.mds(victim).failed());
+  EXPECT_TRUE(cluster.network().is_down(victim));
+  EXPECT_TRUE(subtree->delegations_of(victim).empty());
+  for (const FsNode* root : owned_before) {
+    const MdsId heir = subtree->authority_of(root);
+    EXPECT_NE(heir, victim);
+    EXPECT_GE(heir, 0);
+  }
+}
+
+TEST(Failover, ClusterKeepsServingThroughAFailure) {
+  ClusterSim cluster(failover_config());
+  cluster.run_until(8 * kSecond);
+  cluster.fail_mds(1);
+  cluster.run_until(20 * kSecond);
+
+  // Clients retried onto survivors; the cluster kept answering.
+  Metrics& m = cluster.metrics();
+  const double late_tput = m.avg_throughput().mean_in(
+      12 * kSecond, 20 * kSecond);
+  EXPECT_GT(late_tput, 100.0);
+  std::uint64_t retries = 0;
+  for (int c = 0; c < cluster.num_clients(); ++c) {
+    retries += cluster.client(c).stats().retries;
+  }
+  EXPECT_GT(retries, 0u);
+  EXPECT_GT(cluster.network().dropped_messages(), 0u);
+  // The dead node answered nothing after the failure instant.
+  EXPECT_EQ(m.per_mds_throughput()[1].mean_in(9 * kSecond, 20 * kSecond),
+            0.0);
+  for (int i = 0; i < cluster.num_mds(); ++i) {
+    EXPECT_EQ(cluster.mds(i).cache().check_invariants(), "") << i;
+  }
+}
+
+TEST(Failover, WarmTakeoverPreloadsWorkingSet) {
+  ClusterSim cluster(failover_config());
+  cluster.run_until(8 * kSecond);
+
+  const MdsId victim = 1;
+  const auto working_set = cluster.mds(victim).journal().replay();
+  if (working_set.size() < 10) GTEST_SKIP() << "journal barely used";
+
+  cluster.fail_mds(victim, /*warm_takeover=*/true);
+  cluster.run_until(9 * kSecond);  // let the log replay complete
+
+  // Items from the dead node's journal that now belong to a survivor must
+  // be cached at that survivor without any client having asked for them.
+  std::size_t found = 0, relevant = 0;
+  for (InodeId ino : working_set) {
+    FsNode* n = cluster.tree().by_ino(ino);
+    if (n == nullptr) continue;
+    const MdsId heir = cluster.mds(0).authority_for(n);
+    if (heir == victim) continue;
+    ++relevant;
+    if (cluster.mds(heir).cache().peek(ino) != nullptr) ++found;
+  }
+  if (relevant > 0) {
+    EXPECT_GT(found, relevant / 2) << found << " of " << relevant;
+  }
+}
+
+TEST(Failover, ColdTakeoverSkipsLogReplay) {
+  // Same seed, warm vs cold: within a short window after the kill, the
+  // warm run performs strictly more survivor disk reads (the log replay)
+  // than the deterministic-identical cold run.
+  auto survivor_reads_shortly_after_kill = [](bool warm) {
+    ClusterSim cluster(failover_config(99));
+    cluster.run_until(8 * kSecond);
+    cluster.fail_mds(1, warm);
+    cluster.sim().run_until(cluster.sim().now() + 20 * kMillisecond);
+    std::uint64_t reads = 0;
+    for (int i = 0; i < cluster.num_mds(); ++i) {
+      if (i != 1) reads += cluster.mds(i).disk().reads();
+    }
+    return reads;
+  };
+  const std::uint64_t with_warm = survivor_reads_shortly_after_kill(true);
+  const std::uint64_t without = survivor_reads_shortly_after_kill(false);
+  EXPECT_GT(with_warm, without);
+}
+
+TEST(Failover, RecoveryRejoinsAndServesAgain) {
+  ClusterSim cluster(failover_config());
+  cluster.run_until(6 * kSecond);
+  cluster.fail_mds(2);
+  cluster.run_until(12 * kSecond);
+  cluster.recover_mds(2);
+  EXPECT_FALSE(cluster.mds(2).failed());
+  EXPECT_FALSE(cluster.network().is_down(2));
+  // Cold rejoin: cache nearly empty (root and its anchors survive).
+  EXPECT_LT(cluster.mds(2).cache().size(), 16u);
+  EXPECT_EQ(cluster.mds(2).cache().check_invariants(), "");
+
+  // Give the balancer time: the rejoined node ends up doing work again.
+  cluster.run_until(30 * kSecond);
+  const double rejoined_tput =
+      cluster.metrics().per_mds_throughput()[2].mean_in(20 * kSecond,
+                                                        30 * kSecond);
+  EXPECT_GT(rejoined_tput, 0.0);
+  for (int i = 0; i < cluster.num_mds(); ++i) {
+    EXPECT_EQ(cluster.mds(i).cache().check_invariants(), "") << i;
+  }
+}
+
+TEST(Failover, DoubleFailureStillServes) {
+  SimConfig cfg = failover_config();
+  cfg.num_mds = 5;
+  ClusterSim cluster(cfg);
+  cluster.run_until(6 * kSecond);
+  cluster.fail_mds(1);
+  cluster.run_until(8 * kSecond);
+  cluster.fail_mds(3);
+  cluster.run_until(20 * kSecond);
+  const double tput = cluster.metrics().avg_throughput().mean_in(
+      12 * kSecond, 20 * kSecond);
+  EXPECT_GT(tput, 50.0);
+  // No delegation points to dead nodes.
+  auto* subtree = dynamic_cast<SubtreePartition*>(&cluster.partition());
+  EXPECT_TRUE(subtree->delegations_of(1).empty());
+  EXPECT_TRUE(subtree->delegations_of(3).empty());
+}
+
+}  // namespace
+}  // namespace mdsim

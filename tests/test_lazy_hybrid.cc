@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "fstree/generator.h"
+#include "strategy/lazy_hybrid.h"
+
+namespace mdsim {
+namespace {
+
+class LazyHybridTest : public ::testing::Test {
+ protected:
+  LazyHybridTest() : lh(tree) {
+    a = tree.mkdir(tree.root(), "a");
+    b = tree.mkdir(a, "b");
+    f1 = tree.create_file(b, "f1");
+    f2 = tree.create_file(b, "f2");
+    g = tree.create_file(a, "g");
+  }
+  FsTree tree;
+  LazyHybridManager lh;
+  FsNode* a;
+  FsNode* b;
+  FsNode* f1;
+  FsNode* f2;
+  FsNode* g;
+};
+
+TEST_F(LazyHybridTest, FreshByDefault) {
+  EXPECT_FALSE(lh.is_stale(f1));
+  EXPECT_FALSE(lh.is_stale(a));
+  EXPECT_EQ(lh.pending(), 0u);
+}
+
+TEST_F(LazyHybridTest, ChmodInvalidatesExactlyTheSubtree) {
+  const std::uint64_t affected = lh.invalidate_subtree(b);
+  EXPECT_EQ(affected, 2u);  // f1, f2
+  EXPECT_TRUE(lh.is_stale(f1));
+  EXPECT_TRUE(lh.is_stale(f2));
+  EXPECT_FALSE(lh.is_stale(g));  // sibling subtree untouched
+  EXPECT_FALSE(lh.is_stale(b));  // the changed dir itself is authoritative
+}
+
+TEST_F(LazyHybridTest, NestedInvalidationsAccumulate) {
+  lh.invalidate_subtree(a);
+  lh.invalidate_subtree(b);
+  EXPECT_TRUE(lh.is_stale(f1));
+  lh.refresh(f1);
+  EXPECT_FALSE(lh.is_stale(f1));
+  // Another ancestor change re-stales it.
+  lh.invalidate_subtree(a);
+  EXPECT_TRUE(lh.is_stale(f1));
+}
+
+TEST_F(LazyHybridTest, OnAccessRefreshClearsStaleness) {
+  lh.invalidate_subtree(b);
+  lh.refresh(f1);
+  EXPECT_FALSE(lh.is_stale(f1));
+  EXPECT_TRUE(lh.is_stale(f2));
+  EXPECT_EQ(lh.total_refreshes(), 1u);
+}
+
+TEST_F(LazyHybridTest, DrainFixesEverythingEventually) {
+  lh.invalidate_subtree(a);  // b, f1, f2, g
+  EXPECT_EQ(lh.pending(), 4u);
+  int drained = 0;
+  while (lh.drain_one() != nullptr) ++drained;
+  EXPECT_EQ(drained, 4);
+  EXPECT_FALSE(lh.is_stale(f1));
+  EXPECT_FALSE(lh.is_stale(f2));
+  EXPECT_FALSE(lh.is_stale(g));
+  EXPECT_FALSE(lh.is_stale(b));
+  EXPECT_EQ(lh.pending(), 0u);
+}
+
+TEST_F(LazyHybridTest, SupersededUpdatesAreElided) {
+  lh.invalidate_subtree(b);
+  lh.refresh(f1);  // on-access fixup beats the queue
+  FsNode* fixed = lh.drain_one();
+  // The queue skips the already-fresh f1 for free; only f2 needs work.
+  EXPECT_EQ(fixed, f2);
+  EXPECT_EQ(lh.drain_one(), nullptr);
+}
+
+TEST_F(LazyHybridTest, DeletedEntriesDropOut) {
+  lh.invalidate_subtree(b);
+  ASSERT_TRUE(tree.remove(f1));
+  int drained = 0;
+  while (lh.drain_one() != nullptr) ++drained;
+  EXPECT_EQ(drained, 1);  // only f2
+}
+
+TEST_F(LazyHybridTest, DoubleInvalidationDrainsOnce) {
+  lh.invalidate_subtree(b);
+  lh.invalidate_subtree(b);
+  EXPECT_EQ(lh.pending(), 4u);  // queued twice...
+  int drained = 0;
+  while (lh.drain_one() != nullptr) ++drained;
+  EXPECT_EQ(drained, 2);  // ...but each file only needs one real update
+}
+
+// Property: after any sequence of invalidations and a full drain, nothing
+// is stale (LH eventual consistency — DESIGN invariant 5).
+TEST(LazyHybridProperty, EventualConsistencyAfterDrain) {
+  for (std::uint64_t seed : {11ULL, 22ULL, 33ULL}) {
+    FsTree tree;
+    NamespaceParams params;
+    params.seed = seed;
+    params.num_users = 6;
+    params.nodes_per_user = 80;
+    generate_namespace(tree, params);
+    LazyHybridManager lh(tree);
+    Rng rng(seed);
+    for (int i = 0; i < 30; ++i) {
+      FsNode* dir = tree.dirs()[rng.uniform(tree.dirs().size())];
+      lh.invalidate_subtree(dir);
+      if (rng.bernoulli(0.3) && !tree.files().empty()) {
+        lh.refresh(tree.files()[rng.uniform(tree.files().size())]);
+      }
+    }
+    while (lh.drain_one() != nullptr) {
+    }
+    tree.visit([&](FsNode* n) { EXPECT_FALSE(lh.is_stale(n)); });
+  }
+}
+
+}  // namespace
+}  // namespace mdsim

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace mdsim {
+namespace {
+
+SimConfig metrics_config() {
+  SimConfig cfg;
+  cfg.strategy = StrategyKind::kStaticSubtree;
+  cfg.num_mds = 3;
+  cfg.num_clients = 60;
+  cfg.fs.num_users = 12;
+  cfg.fs.nodes_per_user = 150;
+  cfg.duration = 6 * kSecond;
+  cfg.warmup = 2 * kSecond;
+  cfg.sample_period = 500 * kMillisecond;
+  return cfg;
+}
+
+TEST(Metrics, TimeSeriesSampledOnCadence) {
+  ClusterSim cluster(metrics_config());
+  cluster.run();
+  Metrics& m = cluster.metrics();
+  // 6s / 0.5s = 12 samples (+- boundary effects).
+  EXPECT_NEAR(static_cast<double>(m.avg_throughput().points().size()), 12.0,
+              2.0);
+  EXPECT_EQ(m.per_mds_throughput().size(), 3u);
+  for (const auto& series : m.per_mds_throughput()) {
+    EXPECT_EQ(series.points().size(), m.avg_throughput().points().size());
+  }
+}
+
+TEST(Metrics, AvgIsBetweenMinAndMax) {
+  ClusterSim cluster(metrics_config());
+  cluster.run();
+  Metrics& m = cluster.metrics();
+  const auto& avg = m.avg_throughput().points();
+  const auto& mn = m.min_throughput().points();
+  const auto& mx = m.max_throughput().points();
+  ASSERT_EQ(avg.size(), mn.size());
+  ASSERT_EQ(avg.size(), mx.size());
+  for (std::size_t i = 0; i < avg.size(); ++i) {
+    EXPECT_LE(mn[i].value, avg[i].value + 1e-9);
+    EXPECT_LE(avg[i].value, mx[i].value + 1e-9);
+  }
+}
+
+TEST(Metrics, ThroughputAggregatesMatchStats) {
+  ClusterSim cluster(metrics_config());
+  cluster.run();
+  Metrics& m = cluster.metrics();
+  const double avg = m.avg_mds_throughput(cluster.sim().now());
+  // Cross-check against the time-series mean over the post-warmup window.
+  const double series_mean =
+      m.avg_throughput().mean_in(2 * kSecond + 1, ~SimTime{0});
+  EXPECT_NEAR(avg, series_mean, avg * 0.25 + 1.0);
+}
+
+TEST(Metrics, ForwardFractionWithinBounds) {
+  ClusterSim cluster(metrics_config());
+  cluster.run();
+  Metrics& m = cluster.metrics();
+  EXPECT_GE(m.overall_forward_fraction(), 0.0);
+  for (const auto& p : m.forward_fraction().points()) {
+    EXPECT_GE(p.value, 0.0);
+  }
+}
+
+TEST(Metrics, WarmupResetDropsEarlyCounts) {
+  SimConfig cfg = metrics_config();
+  ClusterSim with_warmup(cfg);
+  with_warmup.run();
+  cfg.warmup = 0;
+  ClusterSim without(cfg);
+  without.run();
+  // Without a warmup reset, more replies are attributed to the window.
+  EXPECT_GT(without.metrics().total_replies(),
+            with_warmup.metrics().total_replies());
+}
+
+TEST(Metrics, ClientLatencyAggregated) {
+  ClusterSim cluster(metrics_config());
+  cluster.run();
+  const Summary lat = cluster.metrics().client_latency();
+  EXPECT_GT(lat.count(), 100u);
+  EXPECT_GT(lat.min(), 0.0);
+  EXPECT_GE(lat.max(), lat.mean());
+}
+
+TEST(Metrics, PrefixFractionAndFillInRange) {
+  ClusterSim cluster(metrics_config());
+  cluster.run();
+  Metrics& m = cluster.metrics();
+  EXPECT_GE(m.mean_prefix_fraction(), 0.0);
+  EXPECT_LE(m.mean_prefix_fraction(), 1.0);
+  EXPECT_GT(m.mean_cache_fill(), 0.0);
+  EXPECT_LE(m.mean_cache_fill(), 1.1);
+}
+
+}  // namespace
+}  // namespace mdsim

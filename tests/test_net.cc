@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/network.h"
+
+namespace mdsim {
+namespace {
+
+struct Recorder final : NetEndpoint {
+  struct Arrival {
+    NetAddr from;
+    MsgType type;
+    SimTime at;
+  };
+  Simulation* sim = nullptr;
+  std::vector<Arrival> arrivals;
+
+  void on_message(NetAddr from, MessagePtr msg) override {
+    arrivals.push_back({from, msg->type, sim->now()});
+  }
+};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() {
+    params_.base_latency = 100;
+    params_.jitter_mean = 0;
+    net_ = std::make_unique<Network>(sim_, params_);
+    for (auto& r : nodes_) {
+      r.sim = &sim_;
+      addrs_.push_back(net_->attach(&r));
+    }
+  }
+
+  MessagePtr make(MsgType t) { return std::make_unique<Message>(t); }
+
+  Simulation sim_;
+  NetworkParams params_;
+  std::unique_ptr<Network> net_;
+  Recorder nodes_[3];
+  std::vector<NetAddr> addrs_;
+};
+
+TEST_F(NetworkTest, DeliversWithBaseLatency) {
+  net_->send(addrs_[0], addrs_[1], make(MsgType::kHeartbeat));
+  sim_.run();
+  ASSERT_EQ(nodes_[1].arrivals.size(), 1u);
+  EXPECT_EQ(nodes_[1].arrivals[0].at, 100u);
+  EXPECT_EQ(nodes_[1].arrivals[0].from, addrs_[0]);
+}
+
+TEST_F(NetworkTest, SelfSendIsImmediate) {
+  net_->send(addrs_[0], addrs_[0], make(MsgType::kHeartbeat));
+  sim_.run();
+  ASSERT_EQ(nodes_[0].arrivals.size(), 1u);
+  EXPECT_EQ(nodes_[0].arrivals[0].at, 0u);
+}
+
+TEST_F(NetworkTest, CountsByType) {
+  net_->send(addrs_[0], addrs_[1], make(MsgType::kHeartbeat));
+  net_->send(addrs_[0], addrs_[2], make(MsgType::kHeartbeat));
+  net_->send(addrs_[1], addrs_[2], make(MsgType::kClientRequest));
+  sim_.run();
+  EXPECT_EQ(net_->messages_sent(MsgType::kHeartbeat), 2u);
+  EXPECT_EQ(net_->messages_sent(MsgType::kClientRequest), 1u);
+  EXPECT_EQ(net_->total_messages(), 3u);
+  net_->reset_counters();
+  EXPECT_EQ(net_->total_messages(), 0u);
+}
+
+TEST(NetworkFifo, PerPairOrderPreservedDespiteJitter) {
+  Simulation sim;
+  NetworkParams params;
+  params.base_latency = 100;
+  params.jitter_mean = 500;  // heavy jitter would reorder without FIFO
+  Network net(sim, params);
+  Recorder a, b;
+  a.sim = &sim;
+  b.sim = &sim;
+  const NetAddr aa = net.attach(&a);
+  const NetAddr ba = net.attach(&b);
+  constexpr int kMsgs = 200;
+  for (int i = 0; i < kMsgs; ++i) {
+    auto msg = std::make_unique<Message>(MsgType::kClientRequest,
+                                         static_cast<std::uint32_t>(i));
+    net.send(aa, ba, std::move(msg));
+  }
+  sim.run();
+  ASSERT_EQ(b.arrivals.size(), static_cast<std::size_t>(kMsgs));
+  for (std::size_t i = 1; i < b.arrivals.size(); ++i) {
+    EXPECT_LE(b.arrivals[i - 1].at, b.arrivals[i].at);
+  }
+}
+
+TEST(NetworkJitter, LatencyAtLeastBase) {
+  Simulation sim;
+  NetworkParams params;
+  params.base_latency = 100;
+  params.jitter_mean = 50;
+  Network net(sim, params);
+  Recorder a, b;
+  a.sim = &sim;
+  b.sim = &sim;
+  const NetAddr aa = net.attach(&a);
+  const NetAddr ba = net.attach(&b);
+  SimTime send_at = 0;
+  for (int i = 0; i < 100; ++i) {
+    sim.schedule(send_at, [&net, aa, ba] {
+      net.send(aa, ba, std::make_unique<Message>(MsgType::kHeartbeat));
+    });
+    send_at += 10000;
+  }
+  sim.run();
+  ASSERT_EQ(b.arrivals.size(), 100u);
+  for (std::size_t i = 0; i < b.arrivals.size(); ++i) {
+    const SimTime latency = b.arrivals[i].at - i * 10000;
+    EXPECT_GE(latency, 100u);
+  }
+}
+
+}  // namespace
+}  // namespace mdsim

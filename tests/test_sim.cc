@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/queue_server.h"
+#include "sim/simulation.h"
+
+namespace mdsim {
+namespace {
+
+TEST(Simulation, ExecutesInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule(30, [&] { order.push_back(3); });
+  sim.schedule(10, [&] { order.push_back(1); });
+  sim.schedule(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulation, SameTimeFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulation, ClockAdvancesToEventTime) {
+  Simulation sim;
+  SimTime seen = 0;
+  sim.schedule(42, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, 42u);
+  EXPECT_EQ(sim.now(), 42u);
+}
+
+TEST(Simulation, RunUntilStopsAndAdvancesClock) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule(10, [&] { ++fired; });
+  sim.schedule(100, [&] { ++fired; });
+  sim.run_until(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 50u);
+  sim.run_until(200);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, NestedScheduling) {
+  Simulation sim;
+  std::vector<SimTime> times;
+  sim.schedule(10, [&] {
+    times.push_back(sim.now());
+    sim.schedule(5, [&] { times.push_back(sim.now()); });
+  });
+  sim.run();
+  EXPECT_EQ(times, (std::vector<SimTime>{10, 15}));
+}
+
+TEST(Simulation, CancelPreventsExecution) {
+  Simulation sim;
+  bool ran = false;
+  EventHandle h = sim.schedule(10, [&] { ran = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  sim.run();
+  EXPECT_FALSE(ran);
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(Simulation, CancelAfterFireIsNoop) {
+  Simulation sim;
+  int runs = 0;
+  EventHandle h = sim.schedule(1, [&] { ++runs; });
+  sim.run();
+  h.cancel();
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(Simulation, EveryRepeatsUntilFalse) {
+  Simulation sim;
+  int ticks = 0;
+  sim.every(10, 10, [&] { return ++ticks < 5; });
+  sim.run();
+  EXPECT_EQ(ticks, 5);
+  EXPECT_EQ(sim.now(), 50u);
+}
+
+TEST(Simulation, EventCountTracked) {
+  Simulation sim;
+  for (int i = 0; i < 7; ++i) sim.schedule(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 7u);
+  EXPECT_EQ(sim.events_pending(), 0u);
+}
+
+// --- QueueServer --------------------------------------------------------
+
+TEST(QueueServer, SerializesJobs) {
+  Simulation sim;
+  QueueServer q(sim, "disk");
+  std::vector<SimTime> completions;
+  for (int i = 0; i < 3; ++i) {
+    q.submit(100, [&] { completions.push_back(sim.now()); });
+  }
+  sim.run();
+  EXPECT_EQ(completions, (std::vector<SimTime>{100, 200, 300}));
+  EXPECT_EQ(q.jobs_completed(), 3u);
+}
+
+TEST(QueueServer, AccessLatencyOutsideSerialization) {
+  Simulation sim;
+  QueueServer q(sim, "disk");
+  q.set_access_latency(50);
+  std::vector<SimTime> completions;
+  q.submit(100, [&] { completions.push_back(sim.now()); });
+  q.submit(100, [&] { completions.push_back(sim.now()); });
+  sim.run();
+  // Service ends at 100 and 200; each completion shifted by the latency.
+  EXPECT_EQ(completions, (std::vector<SimTime>{150, 250}));
+}
+
+TEST(QueueServer, ThroughputBoundedByServiceTime) {
+  Simulation sim;
+  QueueServer q(sim, "cpu");
+  int done = 0;
+  // Offer far more work than one second of capacity at 1ms/job.
+  for (int i = 0; i < 5000; ++i) {
+    q.submit(kMillisecond, [&] { ++done; });
+  }
+  sim.run_until(kSecond);
+  EXPECT_EQ(done, 1000);
+}
+
+TEST(QueueServer, UtilizationReflectsBusyTime) {
+  Simulation sim;
+  QueueServer q(sim, "disk");
+  q.submit(400, [] {});
+  sim.run_until(1000);
+  EXPECT_NEAR(q.utilization(sim.now()), 0.4, 1e-9);
+}
+
+TEST(QueueServer, WaitTimesRecorded) {
+  Simulation sim;
+  QueueServer q(sim, "disk");
+  q.submit(from_seconds(1), [] {});
+  q.submit(from_seconds(1), [] {});
+  sim.run();
+  EXPECT_EQ(q.wait_times().count(), 2u);
+  EXPECT_DOUBLE_EQ(q.wait_times().min(), 0.0);
+  EXPECT_NEAR(q.wait_times().max(), 1.0, 1e-9);
+}
+
+TEST(QueueServer, ResubmissionFromCompletionQueuesBehind) {
+  Simulation sim;
+  QueueServer q(sim, "disk");
+  std::vector<int> order;
+  q.submit(10, [&] {
+    order.push_back(1);
+    q.submit(10, [&] { order.push_back(3); });
+  });
+  q.submit(10, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(QueueServer, ResetStatsZeroes) {
+  Simulation sim;
+  QueueServer q(sim, "disk");
+  q.submit(100, [] {});
+  sim.run();
+  q.reset_stats(sim.now());
+  EXPECT_EQ(q.jobs_completed(), 0u);
+  EXPECT_EQ(q.utilization(sim.now() + 100), 0.0);
+}
+
+}  // namespace
+}  // namespace mdsim

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/csv.h"
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace mdsim {
+namespace {
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(v);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_NEAR(s.variance(), 2.5, 1e-12);
+  EXPECT_NEAR(s.sum(), 15.0, 1e-9);
+}
+
+TEST(Summary, EmptyIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Summary, MergeEqualsCombined) {
+  Summary a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double v = std::sin(i) * 10;
+    (i % 2 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Summary, MergeWithEmpty) {
+  Summary a, b;
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 3.0);
+}
+
+TEST(LogHistogram, PercentilesOrdered) {
+  LogHistogram h(1.0, 1e6, 40);
+  for (int i = 1; i <= 1000; ++i) h.add(i);
+  const double p50 = h.percentile(50);
+  const double p90 = h.percentile(90);
+  const double p99 = h.percentile(99);
+  EXPECT_LT(p50, p90);
+  EXPECT_LT(p90, p99);
+  EXPECT_NEAR(p50, 500, 60);  // log-bucket resolution
+  EXPECT_NEAR(p99, 990, 80);
+}
+
+TEST(LogHistogram, MeanExact) {
+  LogHistogram h;
+  h.add(10, 3);
+  h.add(20);
+  EXPECT_DOUBLE_EQ(h.mean(), 12.5);
+  EXPECT_EQ(h.total_count(), 4u);
+}
+
+TEST(LogHistogram, MergeAddsCounts) {
+  LogHistogram a(1, 1e4, 5), b(1, 1e4, 5);
+  a.add(100);
+  b.add(200, 3);
+  a.merge(b);
+  EXPECT_EQ(a.total_count(), 4u);
+}
+
+TEST(DecayCounter, HalvesAtHalfLife) {
+  DecayCounter c(kSecond);
+  c.hit(0, 8.0);
+  EXPECT_NEAR(c.get(kSecond), 4.0, 1e-9);
+  EXPECT_NEAR(c.get(2 * kSecond), 2.0, 1e-9);
+  EXPECT_NEAR(c.get(3 * kSecond), 1.0, 1e-9);
+}
+
+TEST(DecayCounter, AccumulatesHits) {
+  DecayCounter c(kSecond);
+  c.hit(0);
+  c.hit(0);
+  c.hit(0);
+  EXPECT_NEAR(c.get(0), 3.0, 1e-12);
+}
+
+TEST(DecayCounter, DecayAppliedBeforeNewHit) {
+  DecayCounter c(kSecond);
+  c.hit(0, 4.0);
+  c.hit(kSecond, 1.0);
+  EXPECT_NEAR(c.get(kSecond), 3.0, 1e-9);
+}
+
+TEST(DecayCounter, ResetClears) {
+  DecayCounter c(kSecond);
+  c.hit(0, 10.0);
+  c.reset();
+  EXPECT_EQ(c.get(5 * kSecond), 0.0);
+}
+
+TEST(IntervalRate, ComputesRateAndResets) {
+  IntervalRate r;
+  r.sample(0);
+  r.add(100);
+  EXPECT_DOUBLE_EQ(r.sample(kSecond), 100.0);
+  r.add(50);
+  EXPECT_DOUBLE_EQ(r.sample(3 * kSecond), 25.0);
+  EXPECT_DOUBLE_EQ(r.sample(4 * kSecond), 0.0);
+}
+
+TEST(TimeSeries, MeanInWindow) {
+  TimeSeries ts;
+  ts.record(1 * kSecond, 10);
+  ts.record(2 * kSecond, 20);
+  ts.record(3 * kSecond, 30);
+  EXPECT_DOUBLE_EQ(ts.mean_in(0, 10 * kSecond), 20.0);
+  EXPECT_DOUBLE_EQ(ts.mean_in(2 * kSecond, 3 * kSecond), 20.0);
+  EXPECT_DOUBLE_EQ(ts.max_value(), 30.0);
+}
+
+TEST(TimeConversions, RoundTrip) {
+  EXPECT_EQ(from_seconds(1.5), 1500 * kMillisecond);
+  EXPECT_DOUBLE_EQ(to_seconds(250 * kMillisecond), 0.25);
+  EXPECT_EQ(from_millis(2.0), 2 * kMillisecond);
+  EXPECT_EQ(from_micros(3.0), 3 * kMicrosecond);
+}
+
+TEST(Perms, OwnerAndWorldBits) {
+  Perms p;
+  p.mode = 0700;
+  p.uid = 42;
+  EXPECT_TRUE(p.allows_traverse(42));
+  EXPECT_TRUE(p.allows_read(42));
+  EXPECT_TRUE(p.allows_write(42));
+  EXPECT_FALSE(p.allows_traverse(7));
+  EXPECT_FALSE(p.allows_read(7));
+  p.mode = 0755;
+  EXPECT_TRUE(p.allows_traverse(7));
+  EXPECT_TRUE(p.allows_read(7));
+  EXPECT_FALSE(p.allows_write(7));
+}
+
+TEST(OpTypes, UpdateClassification) {
+  EXPECT_FALSE(op_is_update(OpType::kStat));
+  EXPECT_FALSE(op_is_update(OpType::kOpen));
+  EXPECT_FALSE(op_is_update(OpType::kReaddir));
+  EXPECT_TRUE(op_is_update(OpType::kCreate));
+  EXPECT_TRUE(op_is_update(OpType::kRename));
+  EXPECT_TRUE(op_is_update(OpType::kChmod));
+  EXPECT_TRUE(op_is_update(OpType::kLink));
+}
+
+TEST(Csv, WritesEscapedRows) {
+  const std::string path = ::testing::TempDir() + "/mdsim_csv_test.csv";
+  {
+    CsvWriter csv(path);
+    csv.header({"a", "b,comma", "c"});
+    csv.field("plain").field(1.5).field(std::int64_t{-2});
+    csv.end_row();
+    csv.field("with \"quote\"").field(std::uint64_t{7}).field("x");
+    csv.end_row();
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,\"b,comma\",c");
+  std::getline(in, line);
+  EXPECT_EQ(line, "plain,1.5,-2");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"with \"\"quote\"\"\",7,x");
+}
+
+}  // namespace
+}  // namespace mdsim

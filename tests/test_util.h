@@ -1,0 +1,98 @@
+// Shared helpers for MDS/cluster tests: a hand-driven client endpoint that
+// injects arbitrary requests and records replies.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/cluster.h"
+
+namespace mdsim {
+
+class TestClient final : public NetEndpoint {
+ public:
+  void attach(ClusterSim& cluster) {
+    cluster.run_until(0);  // force build
+    net_ = &cluster.network();
+    sim_ = &cluster.sim();
+    addr_ = net_->attach(this);
+  }
+
+  void on_message(NetAddr from, MessagePtr msg) override {
+    (void)from;
+    if (msg->type == MsgType::kClientReply) {
+      replies.push_back(static_cast<ClientReplyMsg&>(*msg));
+    }
+  }
+
+  std::uint64_t send(MdsId to, OpType op, FsNode* target,
+                     const std::string& name = "",
+                     FsNode* secondary = nullptr, std::uint32_t uid = 0) {
+    auto msg = std::make_unique<ClientRequestMsg>();
+    msg->req_id = next_id_++;
+    msg->client = 9999;
+    msg->client_addr = addr_;
+    msg->op = op;
+    msg->uid = uid;
+    msg->target = target->ino();
+    msg->secondary = secondary != nullptr ? secondary->ino() : kInvalidInode;
+    msg->name = name;
+    const std::uint64_t id = msg->req_id;
+    net_->send(addr_, to, std::move(msg));
+    return id;
+  }
+
+  const ClientReplyMsg& last() const { return replies.back(); }
+  const ClientReplyMsg* reply_for(std::uint64_t req_id) const {
+    for (const auto& r : replies) {
+      if (r.req_id == req_id) return &r;
+    }
+    return nullptr;
+  }
+
+  std::vector<ClientReplyMsg> replies;
+
+ private:
+  Network* net_ = nullptr;
+  Simulation* sim_ = nullptr;
+  NetAddr addr_ = kInvalidAddr;
+  std::uint64_t next_id_ = 1;
+};
+
+/// A file whose whole path is world-traversable (ops from uid 0 succeed).
+inline FsNode* find_world_readable_file(FsTree& tree, std::size_t skip = 0) {
+  for (FsNode* candidate : tree.files()) {
+    bool ok = true;
+    for (FsNode* a : candidate->ancestry()) {
+      if (a->is_dir() && !a->inode().perms.allows_traverse(0)) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    if (skip > 0) {
+      --skip;
+      continue;
+    }
+    return candidate;
+  }
+  return nullptr;
+}
+
+/// Minimal config for hand-driven protocol tests: no simulated clients.
+inline SimConfig manual_config(StrategyKind strategy, int num_mds = 3,
+                               std::uint64_t seed = 42) {
+  SimConfig cfg;
+  cfg.strategy = strategy;
+  cfg.num_mds = num_mds;
+  cfg.num_clients = 0;
+  cfg.seed = seed;
+  cfg.fs.seed = seed;
+  cfg.fs.num_users = 8;
+  cfg.fs.nodes_per_user = 120;
+  cfg.warmup = 0;
+  cfg.duration = 60 * kSecond;
+  return cfg;
+}
+
+}  // namespace mdsim

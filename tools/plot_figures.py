@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Render the paper-reproduction figures from bench_results/*.csv.
+
+Usage:
+    python3 tools/plot_figures.py [results_dir] [output_dir]
+
+Requires matplotlib. Each figure mirrors the layout of its counterpart in
+Weil et al., SC 2004 (figures 2-7); ablations get simple bar/line charts.
+Missing CSVs are skipped, so partial bench runs still plot.
+"""
+import csv
+import os
+import sys
+from collections import defaultdict
+
+try:
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+except ImportError:  # pragma: no cover
+    sys.exit("matplotlib is required: pip install matplotlib")
+
+RESULTS = sys.argv[1] if len(sys.argv) > 1 else "bench_results"
+OUT = sys.argv[2] if len(sys.argv) > 2 else "bench_results/plots"
+
+STRATEGY_STYLE = {
+    "StaticSubtree": dict(color="#1f77b4", marker="o"),
+    "DynamicSubtree": dict(color="#d62728", marker="s"),
+    "DirHash": dict(color="#2ca02c", marker="^"),
+    "FileHash": dict(color="#9467bd", marker="v"),
+    "LazyHybrid": dict(color="#ff7f0e", marker="x"),
+}
+
+
+def rows(name):
+    path = os.path.join(RESULTS, name + ".csv")
+    if not os.path.exists(path):
+        print(f"  (skipping {name}: no CSV)")
+        return None
+    with open(path) as fh:
+        return list(csv.DictReader(fh))
+
+
+def save(fig, name):
+    os.makedirs(OUT, exist_ok=True)
+    path = os.path.join(OUT, name + ".png")
+    fig.savefig(path, dpi=130, bbox_inches="tight")
+    plt.close(fig)
+    print(f"  wrote {path}")
+
+
+def by_strategy(data, xkey, ykey, scale=1.0):
+    series = defaultdict(list)
+    for r in data:
+        series[r["strategy"]].append((float(r[xkey]), float(r[ykey]) * scale))
+    return series
+
+
+def plot_fig2():
+    data = rows("fig2_scaling")
+    if not data:
+        return
+    fig, ax = plt.subplots(figsize=(6, 4))
+    for strat, pts in by_strategy(data, "num_mds",
+                                  "avg_mds_throughput_ops").items():
+        pts.sort()
+        ax.plot(*zip(*pts), label=strat, **STRATEGY_STYLE.get(strat, {}))
+    ax.set_xlabel("MDS cluster size")
+    ax.set_ylabel("Average MDS throughput (ops/sec)")
+    ax.set_title("Figure 2: performance as the system scales")
+    ax.legend()
+    ax.grid(alpha=0.3)
+    save(fig, "fig2_scaling")
+
+
+def plot_fig3():
+    data = rows("fig3_prefix_cache")
+    if not data:
+        return
+    fig, ax = plt.subplots(figsize=(6, 4))
+    for strat, pts in by_strategy(data, "num_mds",
+                                  "prefix_fraction_pct").items():
+        pts.sort()
+        ax.plot(*zip(*pts), label=strat, **STRATEGY_STYLE.get(strat, {}))
+    ax.set_xlabel("MDS servers")
+    ax.set_ylabel("Cache consumed by prefixes (%)")
+    ax.set_title("Figure 3: prefix-inode cache overhead")
+    ax.legend()
+    ax.grid(alpha=0.3)
+    save(fig, "fig3_prefix_cache")
+
+
+def plot_fig4():
+    data = rows("fig4_cache_hit")
+    if not data:
+        return
+    fig, ax = plt.subplots(figsize=(6, 4))
+    for strat, pts in by_strategy(data, "cache_fraction", "hit_rate").items():
+        pts.sort()
+        ax.plot(*zip(*pts), label=strat, **STRATEGY_STYLE.get(strat, {}))
+    ax.set_xlabel("Cache size relative to total metadata size")
+    ax.set_ylabel("Cache hit rate")
+    ax.set_title("Figure 4: hit rate vs cache size")
+    ax.legend()
+    ax.grid(alpha=0.3)
+    save(fig, "fig4_cache_hit")
+
+
+def plot_fig5():
+    data = rows("fig5_adaptation")
+    if not data:
+        return
+    fig, axes = plt.subplots(1, 2, figsize=(11, 4), sharey=True)
+    for ax, strat in zip(axes, ["DynamicSubtree", "StaticSubtree"]):
+        pts = [r for r in data if r["strategy"] == strat]
+        t = [float(r["time_s"]) for r in pts]
+        ax.fill_between(t, [float(r["min_tput"]) for r in pts],
+                        [float(r["max_tput"]) for r in pts], alpha=0.25,
+                        label="min..max")
+        ax.plot(t, [float(r["avg_tput"]) for r in pts], label="average",
+                color="#d62728")
+        ax.set_title(strat)
+        ax.set_xlabel("Time (s)")
+        ax.grid(alpha=0.3)
+        ax.legend()
+    axes[0].set_ylabel("MDS throughput (ops/sec)")
+    fig.suptitle("Figure 5: throughput range under a workload shift")
+    save(fig, "fig5_adaptation")
+
+
+def plot_fig6():
+    data = rows("fig6_forwarding")
+    if not data:
+        return
+    fig, ax = plt.subplots(figsize=(6, 4))
+    for strat in ["DynamicSubtree", "StaticSubtree"]:
+        pts = [(float(r["time_s"]), float(r["forward_fraction"]))
+               for r in data if r["strategy"] == strat]
+        pts.sort()
+        ax.plot(*zip(*pts), label=strat, **STRATEGY_STYLE.get(strat, {}))
+    ax.set_xlabel("Time (s)")
+    ax.set_ylabel("Portion of requests forwarded")
+    ax.set_title("Figure 6: forwarding under a workload shift")
+    ax.legend()
+    ax.grid(alpha=0.3)
+    save(fig, "fig6_forwarding")
+
+
+def plot_fig7():
+    data = rows("fig7_flash_crowd")
+    if not data:
+        return
+    fig, axes = plt.subplots(2, 1, figsize=(7, 6), sharex=True, sharey=True)
+    for ax, mode, title in zip(
+            axes, ["no_control", "traffic_control"],
+            ["No traffic control", "Traffic control"]):
+        pts = [r for r in data if r["mode"] == mode]
+        t = [float(r["time_s"]) for r in pts]
+        ax.plot(t, [float(r["replies_per_s"]) for r in pts],
+                label="Replies", color="#1f77b4")
+        ax.plot(t, [float(r["forwards_per_s"]) for r in pts],
+                label="Forwards", color="#d62728", linestyle="--")
+        ax.set_title(title)
+        ax.set_ylabel("Requests/sec")
+        ax.grid(alpha=0.3)
+        ax.legend()
+    axes[1].set_xlabel("Time (s)")
+    fig.suptitle("Figure 7: flash crowd (10k clients, one file)")
+    save(fig, "fig7_flash_crowd")
+
+
+def main():
+    print(f"Plotting from {RESULTS}/ into {OUT}/")
+    plot_fig2()
+    plot_fig3()
+    plot_fig4()
+    plot_fig5()
+    plot_fig6()
+    plot_fig7()
+    print("done")
+
+
+if __name__ == "__main__":
+    main()
