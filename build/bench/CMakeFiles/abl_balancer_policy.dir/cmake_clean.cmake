@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_balancer_policy.dir/abl_balancer_policy.cc.o"
+  "CMakeFiles/abl_balancer_policy.dir/abl_balancer_policy.cc.o.d"
+  "abl_balancer_policy"
+  "abl_balancer_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_balancer_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

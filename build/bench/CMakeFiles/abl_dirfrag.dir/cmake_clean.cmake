@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_dirfrag.dir/abl_dirfrag.cc.o"
+  "CMakeFiles/abl_dirfrag.dir/abl_dirfrag.cc.o.d"
+  "abl_dirfrag"
+  "abl_dirfrag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_dirfrag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_distributed_attrs.dir/abl_distributed_attrs.cc.o"
+  "CMakeFiles/abl_distributed_attrs.dir/abl_distributed_attrs.cc.o.d"
+  "abl_distributed_attrs"
+  "abl_distributed_attrs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_distributed_attrs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

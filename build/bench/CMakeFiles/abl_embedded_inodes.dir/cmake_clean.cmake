@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_embedded_inodes.dir/abl_embedded_inodes.cc.o"
+  "CMakeFiles/abl_embedded_inodes.dir/abl_embedded_inodes.cc.o.d"
+  "abl_embedded_inodes"
+  "abl_embedded_inodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_embedded_inodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_embedded_inodes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_failover.dir/abl_failover.cc.o"
+  "CMakeFiles/abl_failover.dir/abl_failover.cc.o.d"
+  "abl_failover"
+  "abl_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_nvram_journal.dir/abl_nvram_journal.cc.o"
+  "CMakeFiles/abl_nvram_journal.dir/abl_nvram_journal.cc.o.d"
+  "abl_nvram_journal"
+  "abl_nvram_journal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_nvram_journal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_replication_threshold.dir/abl_replication_threshold.cc.o"
+  "CMakeFiles/abl_replication_threshold.dir/abl_replication_threshold.cc.o.d"
+  "abl_replication_threshold"
+  "abl_replication_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_replication_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig3_prefix_cache.cc" "bench/CMakeFiles/fig3_prefix_cache.dir/fig3_prefix_cache.cc.o" "gcc" "bench/CMakeFiles/fig3_prefix_cache.dir/fig3_prefix_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mdsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/mdsim_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mdsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/mds/CMakeFiles/mdsim_mds.dir/DependInfo.cmake"
+  "/root/repo/build/src/strategy/CMakeFiles/mdsim_strategy.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/mdsim_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mdsim_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mdsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mdsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fstree/CMakeFiles/mdsim_fstree.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mdsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

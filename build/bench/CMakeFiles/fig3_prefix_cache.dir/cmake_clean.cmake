@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_prefix_cache.dir/fig3_prefix_cache.cc.o"
+  "CMakeFiles/fig3_prefix_cache.dir/fig3_prefix_cache.cc.o.d"
+  "fig3_prefix_cache"
+  "fig3_prefix_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_prefix_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

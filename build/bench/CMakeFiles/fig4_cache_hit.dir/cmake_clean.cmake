@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_cache_hit.dir/fig4_cache_hit.cc.o"
+  "CMakeFiles/fig4_cache_hit.dir/fig4_cache_hit.cc.o.d"
+  "fig4_cache_hit"
+  "fig4_cache_hit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_cache_hit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

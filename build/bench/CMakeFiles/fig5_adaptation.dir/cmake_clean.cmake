@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_adaptation.dir/fig5_adaptation.cc.o"
+  "CMakeFiles/fig5_adaptation.dir/fig5_adaptation.cc.o.d"
+  "fig5_adaptation"
+  "fig5_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

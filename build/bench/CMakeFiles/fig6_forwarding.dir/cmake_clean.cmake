@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_forwarding.dir/fig6_forwarding.cc.o"
+  "CMakeFiles/fig6_forwarding.dir/fig6_forwarding.cc.o.d"
+  "fig6_forwarding"
+  "fig6_forwarding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_forwarding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

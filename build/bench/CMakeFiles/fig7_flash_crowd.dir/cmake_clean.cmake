@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_flash_crowd.dir/fig7_flash_crowd.cc.o"
+  "CMakeFiles/fig7_flash_crowd.dir/fig7_flash_crowd.cc.o.d"
+  "fig7_flash_crowd"
+  "fig7_flash_crowd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_flash_crowd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flash_crowd_tour.dir/flash_crowd_tour.cpp.o"
+  "CMakeFiles/flash_crowd_tour.dir/flash_crowd_tour.cpp.o.d"
+  "flash_crowd_tour"
+  "flash_crowd_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flash_crowd_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdsim_cli.dir/mdsim_cli.cpp.o"
+  "CMakeFiles/mdsim_cli.dir/mdsim_cli.cpp.o.d"
+  "mdsim_cli"
+  "mdsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/namespace_inspector.dir/namespace_inspector.cpp.o"
+  "CMakeFiles/namespace_inspector.dir/namespace_inspector.cpp.o.d"
+  "namespace_inspector"
+  "namespace_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/namespace_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

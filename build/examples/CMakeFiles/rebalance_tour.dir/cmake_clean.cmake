@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rebalance_tour.dir/rebalance_tour.cpp.o"
+  "CMakeFiles/rebalance_tour.dir/rebalance_tour.cpp.o.d"
+  "rebalance_tour"
+  "rebalance_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rebalance_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdsim_cache.dir/metadata_cache.cc.o"
+  "CMakeFiles/mdsim_cache.dir/metadata_cache.cc.o.d"
+  "libmdsim_cache.a"
+  "libmdsim_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdsim_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

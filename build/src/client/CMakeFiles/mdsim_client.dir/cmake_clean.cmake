@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdsim_client.dir/client.cc.o"
+  "CMakeFiles/mdsim_client.dir/client.cc.o.d"
+  "CMakeFiles/mdsim_client.dir/location_cache.cc.o"
+  "CMakeFiles/mdsim_client.dir/location_cache.cc.o.d"
+  "libmdsim_client.a"
+  "libmdsim_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdsim_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdsim_common.dir/csv.cc.o"
+  "CMakeFiles/mdsim_common.dir/csv.cc.o.d"
+  "CMakeFiles/mdsim_common.dir/rng.cc.o"
+  "CMakeFiles/mdsim_common.dir/rng.cc.o.d"
+  "CMakeFiles/mdsim_common.dir/stats.cc.o"
+  "CMakeFiles/mdsim_common.dir/stats.cc.o.d"
+  "CMakeFiles/mdsim_common.dir/table.cc.o"
+  "CMakeFiles/mdsim_common.dir/table.cc.o.d"
+  "libmdsim_common.a"
+  "libmdsim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdsim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdsim_core.dir/cluster.cc.o"
+  "CMakeFiles/mdsim_core.dir/cluster.cc.o.d"
+  "CMakeFiles/mdsim_core.dir/config.cc.o"
+  "CMakeFiles/mdsim_core.dir/config.cc.o.d"
+  "CMakeFiles/mdsim_core.dir/experiment.cc.o"
+  "CMakeFiles/mdsim_core.dir/experiment.cc.o.d"
+  "CMakeFiles/mdsim_core.dir/metrics.cc.o"
+  "CMakeFiles/mdsim_core.dir/metrics.cc.o.d"
+  "libmdsim_core.a"
+  "libmdsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdsim_fstree.dir/generator.cc.o"
+  "CMakeFiles/mdsim_fstree.dir/generator.cc.o.d"
+  "CMakeFiles/mdsim_fstree.dir/path.cc.o"
+  "CMakeFiles/mdsim_fstree.dir/path.cc.o.d"
+  "CMakeFiles/mdsim_fstree.dir/tree.cc.o"
+  "CMakeFiles/mdsim_fstree.dir/tree.cc.o.d"
+  "libmdsim_fstree.a"
+  "libmdsim_fstree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdsim_fstree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

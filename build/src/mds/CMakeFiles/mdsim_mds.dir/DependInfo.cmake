@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mds/attr_updates.cc" "src/mds/CMakeFiles/mdsim_mds.dir/attr_updates.cc.o" "gcc" "src/mds/CMakeFiles/mdsim_mds.dir/attr_updates.cc.o.d"
+  "/root/repo/src/mds/balancer.cc" "src/mds/CMakeFiles/mdsim_mds.dir/balancer.cc.o" "gcc" "src/mds/CMakeFiles/mdsim_mds.dir/balancer.cc.o.d"
+  "/root/repo/src/mds/coherence.cc" "src/mds/CMakeFiles/mdsim_mds.dir/coherence.cc.o" "gcc" "src/mds/CMakeFiles/mdsim_mds.dir/coherence.cc.o.d"
+  "/root/repo/src/mds/dirfrag.cc" "src/mds/CMakeFiles/mdsim_mds.dir/dirfrag.cc.o" "gcc" "src/mds/CMakeFiles/mdsim_mds.dir/dirfrag.cc.o.d"
+  "/root/repo/src/mds/mds_node.cc" "src/mds/CMakeFiles/mdsim_mds.dir/mds_node.cc.o" "gcc" "src/mds/CMakeFiles/mdsim_mds.dir/mds_node.cc.o.d"
+  "/root/repo/src/mds/migration.cc" "src/mds/CMakeFiles/mdsim_mds.dir/migration.cc.o" "gcc" "src/mds/CMakeFiles/mdsim_mds.dir/migration.cc.o.d"
+  "/root/repo/src/mds/traffic_control.cc" "src/mds/CMakeFiles/mdsim_mds.dir/traffic_control.cc.o" "gcc" "src/mds/CMakeFiles/mdsim_mds.dir/traffic_control.cc.o.d"
+  "/root/repo/src/mds/traversal.cc" "src/mds/CMakeFiles/mdsim_mds.dir/traversal.cc.o" "gcc" "src/mds/CMakeFiles/mdsim_mds.dir/traversal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/strategy/CMakeFiles/mdsim_strategy.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/mdsim_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mdsim_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mdsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mdsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fstree/CMakeFiles/mdsim_fstree.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mdsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

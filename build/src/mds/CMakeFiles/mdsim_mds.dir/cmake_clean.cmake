@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdsim_mds.dir/attr_updates.cc.o"
+  "CMakeFiles/mdsim_mds.dir/attr_updates.cc.o.d"
+  "CMakeFiles/mdsim_mds.dir/balancer.cc.o"
+  "CMakeFiles/mdsim_mds.dir/balancer.cc.o.d"
+  "CMakeFiles/mdsim_mds.dir/coherence.cc.o"
+  "CMakeFiles/mdsim_mds.dir/coherence.cc.o.d"
+  "CMakeFiles/mdsim_mds.dir/dirfrag.cc.o"
+  "CMakeFiles/mdsim_mds.dir/dirfrag.cc.o.d"
+  "CMakeFiles/mdsim_mds.dir/mds_node.cc.o"
+  "CMakeFiles/mdsim_mds.dir/mds_node.cc.o.d"
+  "CMakeFiles/mdsim_mds.dir/migration.cc.o"
+  "CMakeFiles/mdsim_mds.dir/migration.cc.o.d"
+  "CMakeFiles/mdsim_mds.dir/traffic_control.cc.o"
+  "CMakeFiles/mdsim_mds.dir/traffic_control.cc.o.d"
+  "CMakeFiles/mdsim_mds.dir/traversal.cc.o"
+  "CMakeFiles/mdsim_mds.dir/traversal.cc.o.d"
+  "libmdsim_mds.a"
+  "libmdsim_mds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdsim_mds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

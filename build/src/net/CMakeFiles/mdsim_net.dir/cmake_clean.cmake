@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdsim_net.dir/network.cc.o"
+  "CMakeFiles/mdsim_net.dir/network.cc.o.d"
+  "libmdsim_net.a"
+  "libmdsim_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdsim_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

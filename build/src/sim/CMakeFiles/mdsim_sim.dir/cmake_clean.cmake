@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdsim_sim.dir/queue_server.cc.o"
+  "CMakeFiles/mdsim_sim.dir/queue_server.cc.o.d"
+  "CMakeFiles/mdsim_sim.dir/simulation.cc.o"
+  "CMakeFiles/mdsim_sim.dir/simulation.cc.o.d"
+  "libmdsim_sim.a"
+  "libmdsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

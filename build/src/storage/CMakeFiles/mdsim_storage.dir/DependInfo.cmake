@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/anchor_table.cc" "src/storage/CMakeFiles/mdsim_storage.dir/anchor_table.cc.o" "gcc" "src/storage/CMakeFiles/mdsim_storage.dir/anchor_table.cc.o.d"
+  "/root/repo/src/storage/btree.cc" "src/storage/CMakeFiles/mdsim_storage.dir/btree.cc.o" "gcc" "src/storage/CMakeFiles/mdsim_storage.dir/btree.cc.o.d"
+  "/root/repo/src/storage/disk_model.cc" "src/storage/CMakeFiles/mdsim_storage.dir/disk_model.cc.o" "gcc" "src/storage/CMakeFiles/mdsim_storage.dir/disk_model.cc.o.d"
+  "/root/repo/src/storage/journal.cc" "src/storage/CMakeFiles/mdsim_storage.dir/journal.cc.o" "gcc" "src/storage/CMakeFiles/mdsim_storage.dir/journal.cc.o.d"
+  "/root/repo/src/storage/object_store.cc" "src/storage/CMakeFiles/mdsim_storage.dir/object_store.cc.o" "gcc" "src/storage/CMakeFiles/mdsim_storage.dir/object_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mdsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fstree/CMakeFiles/mdsim_fstree.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mdsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

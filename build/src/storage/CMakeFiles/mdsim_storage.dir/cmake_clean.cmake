@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdsim_storage.dir/anchor_table.cc.o"
+  "CMakeFiles/mdsim_storage.dir/anchor_table.cc.o.d"
+  "CMakeFiles/mdsim_storage.dir/btree.cc.o"
+  "CMakeFiles/mdsim_storage.dir/btree.cc.o.d"
+  "CMakeFiles/mdsim_storage.dir/disk_model.cc.o"
+  "CMakeFiles/mdsim_storage.dir/disk_model.cc.o.d"
+  "CMakeFiles/mdsim_storage.dir/journal.cc.o"
+  "CMakeFiles/mdsim_storage.dir/journal.cc.o.d"
+  "CMakeFiles/mdsim_storage.dir/object_store.cc.o"
+  "CMakeFiles/mdsim_storage.dir/object_store.cc.o.d"
+  "libmdsim_storage.a"
+  "libmdsim_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdsim_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

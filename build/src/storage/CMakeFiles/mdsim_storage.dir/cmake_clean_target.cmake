@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmdsim_storage.a"
+)

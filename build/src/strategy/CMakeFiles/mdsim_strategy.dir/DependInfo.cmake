@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/strategy/lazy_hybrid.cc" "src/strategy/CMakeFiles/mdsim_strategy.dir/lazy_hybrid.cc.o" "gcc" "src/strategy/CMakeFiles/mdsim_strategy.dir/lazy_hybrid.cc.o.d"
+  "/root/repo/src/strategy/partition.cc" "src/strategy/CMakeFiles/mdsim_strategy.dir/partition.cc.o" "gcc" "src/strategy/CMakeFiles/mdsim_strategy.dir/partition.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fstree/CMakeFiles/mdsim_fstree.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mdsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

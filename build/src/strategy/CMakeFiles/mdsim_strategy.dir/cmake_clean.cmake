@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdsim_strategy.dir/lazy_hybrid.cc.o"
+  "CMakeFiles/mdsim_strategy.dir/lazy_hybrid.cc.o.d"
+  "CMakeFiles/mdsim_strategy.dir/partition.cc.o"
+  "CMakeFiles/mdsim_strategy.dir/partition.cc.o.d"
+  "libmdsim_strategy.a"
+  "libmdsim_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdsim_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/flash_crowd.cc" "src/workload/CMakeFiles/mdsim_workload.dir/flash_crowd.cc.o" "gcc" "src/workload/CMakeFiles/mdsim_workload.dir/flash_crowd.cc.o.d"
+  "/root/repo/src/workload/general.cc" "src/workload/CMakeFiles/mdsim_workload.dir/general.cc.o" "gcc" "src/workload/CMakeFiles/mdsim_workload.dir/general.cc.o.d"
+  "/root/repo/src/workload/op_mix.cc" "src/workload/CMakeFiles/mdsim_workload.dir/op_mix.cc.o" "gcc" "src/workload/CMakeFiles/mdsim_workload.dir/op_mix.cc.o.d"
+  "/root/repo/src/workload/scientific.cc" "src/workload/CMakeFiles/mdsim_workload.dir/scientific.cc.o" "gcc" "src/workload/CMakeFiles/mdsim_workload.dir/scientific.cc.o.d"
+  "/root/repo/src/workload/shifting.cc" "src/workload/CMakeFiles/mdsim_workload.dir/shifting.cc.o" "gcc" "src/workload/CMakeFiles/mdsim_workload.dir/shifting.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/mdsim_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/mdsim_workload.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fstree/CMakeFiles/mdsim_fstree.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mdsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdsim_workload.dir/flash_crowd.cc.o"
+  "CMakeFiles/mdsim_workload.dir/flash_crowd.cc.o.d"
+  "CMakeFiles/mdsim_workload.dir/general.cc.o"
+  "CMakeFiles/mdsim_workload.dir/general.cc.o.d"
+  "CMakeFiles/mdsim_workload.dir/op_mix.cc.o"
+  "CMakeFiles/mdsim_workload.dir/op_mix.cc.o.d"
+  "CMakeFiles/mdsim_workload.dir/scientific.cc.o"
+  "CMakeFiles/mdsim_workload.dir/scientific.cc.o.d"
+  "CMakeFiles/mdsim_workload.dir/shifting.cc.o"
+  "CMakeFiles/mdsim_workload.dir/shifting.cc.o.d"
+  "CMakeFiles/mdsim_workload.dir/trace.cc.o"
+  "CMakeFiles/mdsim_workload.dir/trace.cc.o.d"
+  "libmdsim_workload.a"
+  "libmdsim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdsim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

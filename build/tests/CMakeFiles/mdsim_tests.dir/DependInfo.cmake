@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_attr_updates.cc" "tests/CMakeFiles/mdsim_tests.dir/test_attr_updates.cc.o" "gcc" "tests/CMakeFiles/mdsim_tests.dir/test_attr_updates.cc.o.d"
+  "/root/repo/tests/test_btree.cc" "tests/CMakeFiles/mdsim_tests.dir/test_btree.cc.o" "gcc" "tests/CMakeFiles/mdsim_tests.dir/test_btree.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/mdsim_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/mdsim_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_client.cc" "tests/CMakeFiles/mdsim_tests.dir/test_client.cc.o" "gcc" "tests/CMakeFiles/mdsim_tests.dir/test_client.cc.o.d"
+  "/root/repo/tests/test_cluster.cc" "tests/CMakeFiles/mdsim_tests.dir/test_cluster.cc.o" "gcc" "tests/CMakeFiles/mdsim_tests.dir/test_cluster.cc.o.d"
+  "/root/repo/tests/test_coherence.cc" "tests/CMakeFiles/mdsim_tests.dir/test_coherence.cc.o" "gcc" "tests/CMakeFiles/mdsim_tests.dir/test_coherence.cc.o.d"
+  "/root/repo/tests/test_failover.cc" "tests/CMakeFiles/mdsim_tests.dir/test_failover.cc.o" "gcc" "tests/CMakeFiles/mdsim_tests.dir/test_failover.cc.o.d"
+  "/root/repo/tests/test_fstree.cc" "tests/CMakeFiles/mdsim_tests.dir/test_fstree.cc.o" "gcc" "tests/CMakeFiles/mdsim_tests.dir/test_fstree.cc.o.d"
+  "/root/repo/tests/test_lazy_hybrid.cc" "tests/CMakeFiles/mdsim_tests.dir/test_lazy_hybrid.cc.o" "gcc" "tests/CMakeFiles/mdsim_tests.dir/test_lazy_hybrid.cc.o.d"
+  "/root/repo/tests/test_mds.cc" "tests/CMakeFiles/mdsim_tests.dir/test_mds.cc.o" "gcc" "tests/CMakeFiles/mdsim_tests.dir/test_mds.cc.o.d"
+  "/root/repo/tests/test_metrics.cc" "tests/CMakeFiles/mdsim_tests.dir/test_metrics.cc.o" "gcc" "tests/CMakeFiles/mdsim_tests.dir/test_metrics.cc.o.d"
+  "/root/repo/tests/test_migration.cc" "tests/CMakeFiles/mdsim_tests.dir/test_migration.cc.o" "gcc" "tests/CMakeFiles/mdsim_tests.dir/test_migration.cc.o.d"
+  "/root/repo/tests/test_net.cc" "tests/CMakeFiles/mdsim_tests.dir/test_net.cc.o" "gcc" "tests/CMakeFiles/mdsim_tests.dir/test_net.cc.o.d"
+  "/root/repo/tests/test_partition.cc" "tests/CMakeFiles/mdsim_tests.dir/test_partition.cc.o" "gcc" "tests/CMakeFiles/mdsim_tests.dir/test_partition.cc.o.d"
+  "/root/repo/tests/test_protocol_edge.cc" "tests/CMakeFiles/mdsim_tests.dir/test_protocol_edge.cc.o" "gcc" "tests/CMakeFiles/mdsim_tests.dir/test_protocol_edge.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/mdsim_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/mdsim_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_sim.cc" "tests/CMakeFiles/mdsim_tests.dir/test_sim.cc.o" "gcc" "tests/CMakeFiles/mdsim_tests.dir/test_sim.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/mdsim_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/mdsim_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_storage.cc" "tests/CMakeFiles/mdsim_tests.dir/test_storage.cc.o" "gcc" "tests/CMakeFiles/mdsim_tests.dir/test_storage.cc.o.d"
+  "/root/repo/tests/test_stress.cc" "tests/CMakeFiles/mdsim_tests.dir/test_stress.cc.o" "gcc" "tests/CMakeFiles/mdsim_tests.dir/test_stress.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/mdsim_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/mdsim_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_traffic_control.cc" "tests/CMakeFiles/mdsim_tests.dir/test_traffic_control.cc.o" "gcc" "tests/CMakeFiles/mdsim_tests.dir/test_traffic_control.cc.o.d"
+  "/root/repo/tests/test_workload.cc" "tests/CMakeFiles/mdsim_tests.dir/test_workload.cc.o" "gcc" "tests/CMakeFiles/mdsim_tests.dir/test_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mdsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/mdsim_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mdsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/mds/CMakeFiles/mdsim_mds.dir/DependInfo.cmake"
+  "/root/repo/build/src/strategy/CMakeFiles/mdsim_strategy.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/mdsim_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mdsim_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mdsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mdsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fstree/CMakeFiles/mdsim_fstree.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mdsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
