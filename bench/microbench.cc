@@ -89,6 +89,96 @@ void BM_CacheLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_CacheLookup);
 
+// --- Cache hot-path benches (the per-request cost every simulated op
+// pays; the regression gate for cache-core refactors) ----------------------
+
+/// Flat working set under one directory, cache sized to hold all of it.
+struct CacheBenchFixture {
+  FsTree tree;
+  FsNode* dir;
+  std::vector<FsNode*> files;
+
+  explicit CacheBenchFixture(int n) {
+    dir = tree.mkdir(tree.root(), "d");
+    files.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      files.push_back(tree.create_file(dir, "f" + std::to_string(i)));
+    }
+  }
+
+  void populate(MetadataCache& cache, int n) {
+    cache.insert(tree.root(), InsertKind::kDemand, true, 0);
+    cache.insert(dir, InsertKind::kPrefix, true, 0);
+    for (int i = 0; i < n; ++i) {
+      cache.insert(files[static_cast<std::size_t>(i)], InsertKind::kDemand,
+                   true, 0);
+    }
+  }
+};
+
+void BM_CacheLookupHit(benchmark::State& state) {
+  CacheBenchFixture fx(4000);
+  MetadataCache cache(5000);
+  fx.populate(cache, 4000);
+  Rng rng(5);
+  SimTime now = 0;
+  for (auto _ : state) {
+    FsNode* f = fx.files[rng.uniform(fx.files.size())];
+    benchmark::DoNotOptimize(cache.lookup(f->ino(), ++now));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheLookupHit);
+
+void BM_CacheInsertEvict(benchmark::State& state) {
+  // Working set twice the cache: every insert of a cold item evicts the
+  // LRU one (insert + eviction scan + teardown per iteration).
+  CacheBenchFixture fx(8000);
+  MetadataCache cache(4000);
+  fx.populate(cache, 4000);
+  SimTime now = 0;
+  std::size_t next = 4000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.insert(fx.files[next], InsertKind::kDemand,
+                                          true, ++now));
+    if (++next == fx.files.size()) next = 0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheInsertEvict);
+
+void BM_CacheMixedOps(benchmark::State& state) {
+  // The per-request blend an MDS performs: mostly hit lookups, some
+  // misses, peeks, demand upgrades, inserts-with-eviction, erases — plus
+  // the metrics sampler reading prefix_fraction at intervals.
+  CacheBenchFixture fx(8000);
+  MetadataCache cache(4000);
+  fx.populate(cache, 4000);
+  Rng rng(7);
+  SimTime now = 0;
+  std::uint64_t ticks = 0;
+  double frac = 0.0;
+  for (auto _ : state) {
+    FsNode* f = fx.files[rng.uniform(fx.files.size())];
+    const double action = rng.uniform_double();
+    if (action < 0.55) {
+      CacheEntry* e = cache.lookup(f->ino(), ++now);
+      if (e != nullptr) cache.mark_demand_access(e);
+    } else if (action < 0.75) {
+      benchmark::DoNotOptimize(cache.peek(f->ino()));
+    } else if (action < 0.95) {
+      benchmark::DoNotOptimize(
+          cache.insert(f, InsertKind::kDemand, true, ++now));
+    } else {
+      cache.erase(f->ino());
+    }
+    if ((++ticks & 1023u) == 0) frac += cache.prefix_fraction();
+  }
+  benchmark::DoNotOptimize(frac);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheMixedOps);
+
 void BM_NamespaceGeneration(benchmark::State& state) {
   for (auto _ : state) {
     FsTree tree;

@@ -15,15 +15,29 @@
 //  * Popularity — every entry carries a decayed access counter (the traffic
 //    control metric of section 4.4).
 //
-// The cache also keeps the accounting behind Figures 3 and 4: which entries
-// are prefix inodes (cached only to anchor descendants / path traversal)
-// and replica-vs-authority counts.
+// Layout (see DESIGN.md "Cache core"): entries live in a chunked slab with
+// stable addresses and are found through one open-addressed index probe
+// keyed by InodeId. The two LRU segments are intrusive doubly-linked lists
+// threaded through the slab slots (no per-touch allocation, no second hash
+// probe to locate list nodes). The same index record also locates the
+// entry's EntryAux sidecar — the per-inode MDS protocol state (coherence
+// registry, traffic-control flags, dirfrag temperature, attribute deltas,
+// fetch coalescing) that previously lived in six separate per-node hash
+// maps — so one probe serves both the cache and the protocol layers. Aux
+// records may outlive the cache entry (an authority keeps its replica
+// registry even after evicting its own copy) and may exist before one (a
+// fetch in flight coalesces waiters for a not-yet-resident inode).
+//
+// The cache also keeps the accounting behind Figures 3 and 4 — which
+// entries are prefix inodes and replica-vs-authority counts — as
+// incrementally maintained counters, so metrics sampling is O(1).
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <list>
-#include <unordered_map>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "common/stats.h"
 #include "common/types.h"
@@ -37,10 +51,75 @@ enum class InsertKind : std::uint8_t {
   kPrefetch,  // speculatively loaded with its directory (embedded inodes)
 };
 
+struct CacheEntry;
+
+/// Which in-flight fetch a coalescing waiter is parked on.
+enum class FetchChannel : std::uint8_t { kDisk = 0, kReplica = 1 };
+
+/// Per-inode MDS protocol state adjacent to the cache entry. Owned by the
+/// cache (same index record as the entry); allocated lazily and freed as
+/// soon as every field is back to its default (`unused()`). Fields are
+/// grouped by the subsystem that writes them; the cache itself only
+/// touches `replicated_everywhere` (cleared when the entry is evicted —
+/// replication "everywhere" is a property of the resident copy).
+struct EntryAux {
+  using FetchWaiter = std::function<void(CacheEntry*)>;
+
+  // Coherence (authority side): peers registered as holding a replica of
+  // this inode. Small — bounded by cluster size — so a flat vector beats
+  // a node-based set.
+  std::vector<MdsId> replica_holders;
+
+  // Distributed attribute updates (section 4.2). Authority side: peers
+  // that announced absorbed-but-unflushed deltas. Replica side: number of
+  // locally absorbed setattr deltas awaiting a flush.
+  std::vector<MdsId> attr_dirty_holders;
+  std::uint32_t attr_pending = 0;
+
+  // Traffic control: this node believes the inode is replicated on every
+  // MDS (cleared on eviction/invalidation of the local copy).
+  bool replicated_everywhere = false;
+
+  // Dynamic dirfrag: decayed count of namespace-mutating ops landing in
+  // this directory. `has_dir_temp` gates it so an idle default counter
+  // does not keep the record alive.
+  bool has_dir_temp = false;
+  DecayCounter dir_op_temp;
+
+  // Fetch coalescing: continuations parked on an in-flight disk read or
+  // replica request for this inode (the entry itself is usually absent).
+  bool fetch_inflight[2] = {false, false};
+  std::vector<FetchWaiter> fetch_waiters[2];
+
+  bool holds(MdsId peer) const {
+    for (MdsId h : replica_holders) {
+      if (h == peer) return true;
+    }
+    return false;
+  }
+
+  /// True when every field is back to its default; the record is freed.
+  bool unused() const {
+    return replica_holders.empty() && attr_dirty_holders.empty() &&
+           attr_pending == 0 && !replicated_everywhere && !has_dir_temp &&
+           !fetch_inflight[0] && !fetch_inflight[1] &&
+           fetch_waiters[0].empty() && fetch_waiters[1].empty();
+  }
+};
+
+/// Slab slot index; entries link to each other by index, not pointer.
+using CacheSlot = std::uint32_t;
+constexpr CacheSlot kNullSlot = 0xffffffffu;
+
 struct CacheEntry {
   FsNode* node = nullptr;
   bool authoritative = true;  // false => replica of another MDS's item
   bool prefix = true;         // true while only serving as a path prefix
+  /// Directories only: all children are currently cached (set by a
+  /// whole-directory fetch; cleared when any child is evicted). Lets a
+  /// readdir be served without touching disk.
+  bool complete = false;
+  bool in_probation = false;
   std::uint32_t pins = 0;     // in-flight requests referencing this entry
   std::uint32_t cached_children = 0;
   /// Parent inode at insertion time. Child accounting uses this, not the
@@ -48,15 +127,17 @@ struct CacheEntry {
   /// the increment/decrement pair must hit the same entry.
   InodeId anchor_parent = kInvalidInode;
   std::uint64_t version = 0;  // inode version this copy reflects
-  /// Directories only: all children are currently cached (set by a
-  /// whole-directory fetch; cleared when any child is evicted). Lets a
-  /// readdir be served without touching disk.
-  bool complete = false;
   DecayCounter popularity;
 
-  // LRU bookkeeping (managed by MetadataCache).
-  std::list<InodeId>::iterator lru_it;
-  bool in_probation = false;
+  /// Protocol sidecar for this inode, or nullptr. Borrowed from the
+  /// cache's aux slab; may outlive the entry (kept by the cache while any
+  /// field is in use).
+  EntryAux* aux = nullptr;
+
+  // Intrusive LRU links + own slot (managed by MetadataCache).
+  CacheSlot lru_prev = kNullSlot;
+  CacheSlot lru_next = kNullSlot;
+  CacheSlot self = kNullSlot;
 
   bool evictable() const { return pins == 0 && cached_children == 0; }
 };
@@ -66,6 +147,9 @@ struct CacheStats {
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
   std::uint64_t insertions = 0;
+  /// unpin() calls on an entry with no pins — a request state-machine bug
+  /// (would silently corrupt evictable() if ignored).
+  std::uint64_t pin_underflows = 0;
 
   double hit_rate() const {
     const std::uint64_t total = hits + misses;
@@ -77,13 +161,16 @@ struct CacheStats {
 class MetadataCache {
  public:
   using EvictCallback = std::function<void(const CacheEntry&)>;
+  using FetchWaiter = EntryAux::FetchWaiter;
 
   /// `capacity` in items. If `enforce_tree` is false, the parent-chain
   /// invariant is skipped (Lazy Hybrid does not keep prefixes at all).
   MetadataCache(std::size_t capacity, bool enforce_tree = true);
 
   /// Fires whenever an entry is evicted or erased (replica-drop
-  /// notification hook for the coherence layer).
+  /// notification hook for the coherence layer). Invoked after the entry
+  /// has been unlinked from the index and LRU — peek() of the victim
+  /// returns null, and the callback may insert/erase other entries.
   void set_evict_callback(EvictCallback cb) { on_evict_ = std::move(cb); }
 
   /// Look up an inode; on hit, promotes the entry and bumps popularity.
@@ -108,9 +195,7 @@ class MetadataCache {
   bool erase(InodeId ino);
 
   void pin(CacheEntry* e) { ++e->pins; }
-  void unpin(CacheEntry* e) {
-    if (e->pins > 0) --e->pins;
-  }
+  void unpin(CacheEntry* e);
 
   /// The entry was the direct target of a request (not a traversal
   /// prefix): clears its prefix status for the figure-3 accounting.
@@ -119,7 +204,7 @@ class MetadataCache {
   /// Evict down to capacity (called automatically by insert).
   void enforce_capacity();
 
-  std::size_t size() const { return entries_.size(); }
+  std::size_t size() const { return size_; }
   std::size_t capacity() const { return capacity_; }
   void set_capacity(std::size_t c) {
     capacity_ = c;
@@ -137,42 +222,164 @@ class MetadataCache {
   /// Fraction of cache occupied by prefix inodes (figure 3's y-axis): a
   /// directory counts while it anchors cached descendants (path traversal
   /// runs through it) or was brought in purely as a traversal prefix.
-  /// O(n) scan; called at sampling granularity only.
+  /// O(1) — maintained incrementally (anchored_prefix_dirs_).
   double prefix_fraction() const {
-    if (entries_.empty()) return 0.0;
-    std::size_t prefixes = 0;
-    for (const auto& [_, e] : entries_) {
-      if (e.node->is_dir() && (e.cached_children > 0 || e.prefix)) {
-        ++prefixes;
-      }
-    }
-    return static_cast<double>(prefixes) /
-           static_cast<double>(entries_.size());
+    return size_ > 0 ? static_cast<double>(anchored_prefix_dirs_) /
+                           static_cast<double>(size_)
+                     : 0.0;
   }
 
-  /// Iterate all entries (migration export, diagnostics).
+  /// Iterate all entries (migration export, diagnostics). The callback
+  /// must not insert or erase entries (collect first, then mutate).
   void for_each(const std::function<void(CacheEntry&)>& fn);
 
-  /// Verify the tree invariant and internal accounting; returns an empty
-  /// string when healthy (tests).
+  // ---- protocol sidecar (EntryAux) ---------------------------------------
+  /// Sidecar for `ino`, or nullptr if none exists.
+  EntryAux* aux_peek(InodeId ino);
+  const EntryAux* aux_peek(InodeId ino) const;
+  /// Sidecar for `ino`, created empty if absent. Callers must either set
+  /// a field or call aux_gc afterwards (empty records are reclaimed).
+  EntryAux& aux_ensure(InodeId ino);
+  /// Free the sidecar if every field is back to its default.
+  void aux_gc(InodeId ino);
+  /// Visit every inode that currently has a sidecar. Snapshots the key
+  /// set first, so the callback may mutate/gc aux records freely.
+  void for_each_aux(const std::function<void(InodeId, EntryAux&)>& fn);
+  std::size_t aux_count() const { return aux_count_; }
+
+  // ---- fetch coalescing ---------------------------------------------------
+  /// Park a continuation on the in-flight fetch for `ino`. Returns true
+  /// if this is the first waiter — the caller must start the fetch.
+  bool add_fetch_waiter(InodeId ino, FetchChannel ch, FetchWaiter w);
+  /// Complete the fetch: clears the in-flight flag and returns the parked
+  /// continuations (empty if none were registered / already cleared).
+  std::vector<FetchWaiter> take_fetch_waiters(InodeId ino, FetchChannel ch);
+  bool fetch_inflight(InodeId ino, FetchChannel ch) const;
+  /// Number of distinct inodes with a fetch in flight on `ch`.
+  std::size_t inflight_fetches(FetchChannel ch) const {
+    return inflight_count_[static_cast<int>(ch)];
+  }
+  /// Drop all parked continuations and in-flight markers (cold rejoin).
+  void clear_fetch_waiters();
+
+  /// Verify the tree invariant and internal accounting (counters,
+  /// intrusive-list consistency, index integrity, aux linkage); returns
+  /// an empty string when healthy (tests).
   std::string check_invariants() const;
 
  private:
+  // Chunked slab: stable addresses, O(1) alloc/free via a free list.
+  template <typename T>
+  class Slab {
+   public:
+    static constexpr std::size_t kChunkBits = 8;
+    static constexpr std::size_t kChunkSize = 1u << kChunkBits;
+
+    T& operator[](CacheSlot i) {
+      return chunks_[i >> kChunkBits][i & (kChunkSize - 1)];
+    }
+    const T& operator[](CacheSlot i) const {
+      return chunks_[i >> kChunkBits][i & (kChunkSize - 1)];
+    }
+
+    CacheSlot alloc() {
+      if (!free_.empty()) {
+        const CacheSlot s = free_.back();
+        free_.pop_back();
+        return s;
+      }
+      const std::size_t next = allocated_++;
+      if ((next >> kChunkBits) == chunks_.size()) {
+        chunks_.emplace_back(new T[kChunkSize]);
+      }
+      return static_cast<CacheSlot>(next);
+    }
+
+    void free(CacheSlot s) {
+      (*this)[s] = T{};  // reset to defaults for the next tenant
+      free_.push_back(s);
+    }
+
+   private:
+    std::vector<std::unique_ptr<T[]>> chunks_;
+    std::vector<CacheSlot> free_;
+    std::size_t allocated_ = 0;
+  };
+
+  // Open-addressed index record: one per inode holding an entry, a
+  // sidecar, or both. key == kInvalidInode marks an empty slot; deletion
+  // backward-shifts, so there are no tombstones.
+  struct IndexSlot {
+    InodeId key = kInvalidInode;
+    CacheSlot entry = kNullSlot;
+    CacheSlot aux = kNullSlot;
+  };
+
+  // Intrusive LRU segment; head = MRU, tail = LRU.
+  struct LruList {
+    CacheSlot head = kNullSlot;
+    CacheSlot tail = kNullSlot;
+    std::size_t size = 0;
+  };
+
+  static std::size_t hash_ino(InodeId ino) {
+    return static_cast<std::size_t>(ino * 0x9E3779B97F4A7C15ull);
+  }
+
+  // Index primitives (linear probing).
+  std::size_t index_mask() const { return index_.size() - 1; }
+  /// Slot position of `ino`, or the empty position where it would go.
+  std::size_t index_probe(InodeId ino) const;
+  IndexSlot* index_find(InodeId ino);
+  const IndexSlot* index_find(InodeId ino) const;
+  /// Find-or-create the record for `ino` (grows the table as needed).
+  IndexSlot& index_ensure(InodeId ino);
+  /// Remove the record at table position `pos` (backward-shift).
+  void index_erase_at(std::size_t pos);
+  /// Drop the record if it holds neither an entry nor a sidecar.
+  void index_gc(InodeId ino);
+  void index_grow();
+
+  // LRU primitives.
+  LruList& list_of(const CacheEntry& e) {
+    return e.in_probation ? probation_ : main_;
+  }
+  void list_push_front(LruList& l, CacheEntry& e);
+  void list_unlink(LruList& l, CacheEntry& e);
+
   void promote(CacheEntry& e);
   void mark_demand(CacheEntry& e);
-  void evict_one_from(std::list<InodeId>& lru);
-  void remove_entry(std::unordered_map<InodeId, CacheEntry>::iterator it,
-                    bool evicted);
+  /// True when the entry counts toward anchored_prefix_dirs_.
+  static bool is_anchor_dir(const CacheEntry& e) {
+    return e.node->is_dir() && (e.prefix || e.cached_children > 0);
+  }
+  void child_count_add(InodeId parent, int delta);
+  /// Evict the tail-most evictable entry of `l`; false if none qualifies.
+  bool evict_one_from(LruList& l);
+  void remove_entry(CacheEntry& e, bool evicted);
 
   std::size_t capacity_;
   bool enforce_tree_;
   EvictCallback on_evict_;
-  std::unordered_map<InodeId, CacheEntry> entries_;
-  std::list<InodeId> main_;       // front = MRU, back = LRU
-  std::list<InodeId> probation_;  // prefetched, evicted first
+
+  Slab<CacheEntry> entries_;
+  Slab<EntryAux> aux_slab_;
+  std::vector<IndexSlot> index_;
+  std::size_t index_used_ = 0;
+
+  LruList main_;
+  LruList probation_;
+
   CacheStats stats_;
+  std::size_t size_ = 0;
+  std::size_t aux_count_ = 0;
   std::size_t prefix_count_ = 0;
   std::size_t replica_count_ = 0;
+  /// Dir entries with (prefix || cached_children > 0): the numerator of
+  /// prefix_fraction(), maintained on every transition.
+  std::size_t anchored_prefix_dirs_ = 0;
+  std::size_t inflight_count_[2] = {0, 0};
+  bool enforcing_ = false;  // reentrancy guard (evict callbacks may insert)
 };
 
 }  // namespace mdsim

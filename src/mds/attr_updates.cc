@@ -16,6 +16,7 @@
 // (stat/open) of a remote-dirty inode first calls the deltas in from all
 // dirty holders, then serves. AttrFlush applies the deltas (one journaled
 // update covering the batch — the whole point of the scheme).
+#include <algorithm>
 #include <cassert>
 
 #include "mds/mds_node.h"
@@ -41,8 +42,9 @@ bool MdsNode::try_local_attr_update(RequestPtr req) {
     }
     req->counts_as_served = true;
     const InodeId ino = req->target->ino();
-    auto [it, first_write] = attr_pending_.try_emplace(ino, 0u);
-    ++it->second;
+    EntryAux& a = cache_.aux_ensure(ino);
+    const bool first_write = a.attr_pending == 0;
+    ++a.attr_pending;
     ++stats_.attr_local_updates;
     if (first_write) {
       auto dirty = std::make_unique<AttrDirtyMsg>();
@@ -67,12 +69,17 @@ void MdsNode::schedule_attr_flush() {
 
 void MdsNode::flush_attr_updates() {
   attr_flush_scheduled_ = false;
-  if (failed_) {
-    attr_pending_.clear();
-    return;
-  }
-  auto pending = std::move(attr_pending_);
-  attr_pending_.clear();
+  // Collect-then-send: zeroing the counts (and gc'ing drained records)
+  // first keeps the sidecar sweep safe against anything the sends recurse
+  // into.
+  std::vector<std::pair<InodeId, std::uint32_t>> pending;
+  cache_.for_each_aux([&](InodeId ino, EntryAux& a) {
+    if (a.attr_pending == 0) return;
+    pending.emplace_back(ino, a.attr_pending);
+    a.attr_pending = 0;
+    cache_.aux_gc(ino);
+  });
+  if (failed_) return;
   for (const auto& [ino, count] : pending) {
     FsNode* node = ctx_.tree.by_ino(ino);
     if (node == nullptr || count == 0) continue;
@@ -84,10 +91,11 @@ void MdsNode::flush_attr_updates() {
 }
 
 void MdsNode::flush_attr_updates_for(InodeId ino) {
-  auto it = attr_pending_.find(ino);
-  if (it == attr_pending_.end()) return;
-  const std::uint32_t count = it->second;
-  attr_pending_.erase(it);
+  EntryAux* a = cache_.aux_peek(ino);
+  if (a == nullptr || a->attr_pending == 0) return;
+  const std::uint32_t count = a->attr_pending;
+  a->attr_pending = 0;
+  cache_.aux_gc(ino);
   FsNode* node = ctx_.tree.by_ino(ino);
   if (node == nullptr || count == 0) return;
   auto flush = std::make_unique<AttrFlushMsg>();
@@ -97,7 +105,11 @@ void MdsNode::flush_attr_updates_for(InodeId ino) {
 }
 
 void MdsNode::handle_attr_dirty(NetAddr from, const AttrDirtyMsg& m) {
-  attr_dirty_remote_[m.ino].insert(from);
+  EntryAux& a = cache_.aux_ensure(m.ino);
+  if (!std::count(a.attr_dirty_holders.begin(), a.attr_dirty_holders.end(),
+                  from)) {
+    a.attr_dirty_holders.push_back(from);
+  }
 }
 
 void MdsNode::handle_attr_flush(NetAddr from, const AttrFlushMsg& m) {
@@ -113,12 +125,15 @@ void MdsNode::handle_attr_flush(NetAddr from, const AttrFlushMsg& m) {
       // attributes, which this scheme tolerates by design; they are NOT
       // invalidated here (that would defeat the batching).
     }
-    auto dit = attr_dirty_remote_.find(ino);
-    if (dit != attr_dirty_remote_.end()) {
-      dit->second.erase(from);
-      if (dit->second.empty()) {
-        attr_dirty_remote_.erase(dit);
-        resume_attr_waiters(ino);
+    if (EntryAux* a = cache_.aux_peek(ino)) {
+      auto& holders = a->attr_dirty_holders;
+      auto hit = std::find(holders.begin(), holders.end(), from);
+      if (hit != holders.end()) {
+        holders.erase(hit);
+        if (holders.empty()) {
+          cache_.aux_gc(ino);
+          resume_attr_waiters(ino);
+        }
       }
     }
   });
@@ -132,18 +147,19 @@ void MdsNode::handle_attr_callback(const AttrCallbackMsg& m) {
 bool MdsNode::gather_remote_attrs(RequestPtr req) {
   if (!ctx_.params.distributed_attr_updates) return false;
   const InodeId ino = req->target->ino();
-  auto it = attr_dirty_remote_.find(ino);
-  if (it == attr_dirty_remote_.end()) return false;
+  EntryAux* a = cache_.aux_peek(ino);
+  if (a == nullptr || a->attr_dirty_holders.empty()) return false;
 
   // Drop holders that died; their deltas are lost with them.
-  for (auto hit = it->second.begin(); hit != it->second.end();) {
-    hit = ctx_.net.is_down(*hit) ? it->second.erase(hit) : std::next(hit);
-  }
-  if (it->second.empty()) {
-    attr_dirty_remote_.erase(it);
+  auto& holders = a->attr_dirty_holders;
+  holders.erase(std::remove_if(holders.begin(), holders.end(),
+                               [&](MdsId h) { return ctx_.net.is_down(h); }),
+                holders.end());
+  if (holders.empty()) {
+    cache_.aux_gc(ino);
     return false;
   }
-  for (MdsId holder : it->second) {
+  for (MdsId holder : holders) {
     auto cb = std::make_unique<AttrCallbackMsg>();
     cb->ino = ino;
     ctx_.net.send(id_, holder, std::move(cb));

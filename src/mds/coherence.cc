@@ -2,6 +2,7 @@
 // 4.2): each item's authority tracks which peers hold replicas, sends
 // invalidations when the item changes, and is released when a holder
 // discards its copy.
+#include <algorithm>
 #include <cassert>
 
 #include "mds/mds_node.h"
@@ -10,32 +11,40 @@ namespace mdsim {
 
 void MdsNode::register_replica(InodeId ino, MdsId holder) {
   if (holder == id_) return;
-  replica_holders_[ino].insert(holder);
+  EntryAux& a = cache_.aux_ensure(ino);
+  if (!a.holds(holder)) a.replica_holders.push_back(holder);
 }
 
 void MdsNode::unregister_replica(InodeId ino, MdsId holder) {
-  auto it = replica_holders_.find(ino);
-  if (it == replica_holders_.end()) return;
-  it->second.erase(holder);
-  if (it->second.empty()) replica_holders_.erase(it);
+  EntryAux* a = cache_.aux_peek(ino);
+  if (a == nullptr) return;
+  auto& holders = a->replica_holders;
+  auto it = std::find(holders.begin(), holders.end(), holder);
+  if (it == holders.end()) return;
+  holders.erase(it);
+  cache_.aux_gc(ino);
 }
 
 void MdsNode::invalidate_replicas(InodeId ino, bool removed) {
-  auto it = replica_holders_.find(ino);
-  if (it == replica_holders_.end()) return;
-  for (MdsId holder : it->second) {
+  EntryAux* a = cache_.aux_peek(ino);
+  if (a == nullptr || a->replica_holders.empty()) return;
+  for (MdsId holder : a->replica_holders) {
     auto msg = std::make_unique<CacheInvalidateMsg>();
     msg->ino = ino;
     msg->removed = removed;
     ++stats_.invalidations_sent;
     ctx_.net.send(id_, holder, std::move(msg));
   }
-  replica_holders_.erase(it);
-  replicated_.erase(ino);
+  a->replica_holders.clear();
+  a->replicated_everywhere = false;
+  cache_.aux_gc(ino);
 }
 
 void MdsNode::handle_invalidate(const CacheInvalidateMsg& m) {
-  replicated_.erase(m.ino);
+  if (EntryAux* a = cache_.aux_peek(m.ino)) {
+    a->replicated_everywhere = false;
+    cache_.aux_gc(m.ino);
+  }
   if (m.whole_subtree) {
     // A directory moved: every cached descendant is stale (its position,
     // and under hashing its location, changed). Collect, then drop
@@ -103,7 +112,8 @@ void MdsNode::on_cache_evict(const CacheEntry& e) {
     CacheEntry* p = cache_.peek(e.node->parent()->ino());
     if (p != nullptr) p->complete = false;
   }
-  replicated_.erase(e.node->ino());
+  // The cache clears the sidecar's replicated-everywhere flag itself when
+  // it tears the entry down.
   if (!e.authoritative) {
     // Notify the authority so it can stop invalidating us (paper section
     // 4.2: "if a node discards an inode for which it is not authoritative

@@ -633,17 +633,23 @@ void MdsNode::clear_cache_for_rejoin() {
   const std::size_t cap = cache_.capacity();
   cache_.set_capacity(1);
   cache_.set_capacity(cap);
-  replicated_.clear();
-  replica_holders_.clear();
-  dir_op_temp_.clear();
+  // Coherence and traffic-control sidecar state is void after the outage
+  // (the node missed invalidations); pending attr deltas survive — the
+  // periodic flush still owes them to the authorities.
+  cache_.for_each_aux([this](InodeId ino, EntryAux& a) {
+    a.replica_holders.clear();
+    a.replicated_everywhere = false;
+    a.has_dir_temp = false;
+    a.dir_op_temp = DecayCounter();
+    cache_.aux_gc(ino);
+  });
   subtree_load_.clear();
   // Any protocol state from before the outage is void; the clients whose
   // requests died here have long since timed out and retried.
   frozen_.clear();
   deferred_.clear();
   outbound_.reset();
-  pending_disk_.clear();
-  pending_replica_.clear();
+  cache_.clear_fetch_waiters();
 }
 
 bool MdsNode::migrate_subtree(FsNode* root, MdsId target) {
@@ -654,8 +660,8 @@ bool MdsNode::migrate_subtree(FsNode* root, MdsId target) {
 }
 
 std::size_t MdsNode::replica_holders(InodeId ino) const {
-  auto it = replica_holders_.find(ino);
-  return it == replica_holders_.end() ? 0 : it->second.size();
+  const EntryAux* a = cache_.aux_peek(ino);
+  return a == nullptr ? 0 : a->replica_holders.size();
 }
 
 }  // namespace mdsim

@@ -118,7 +118,8 @@ class MdsNode final : public NetEndpoint {
   /// True if this node currently believes `ino` is replicated everywhere
   /// (traffic control).
   bool is_replicated_everywhere(InodeId ino) const {
-    return replicated_.count(ino) != 0;
+    const EntryAux* a = cache_.aux_peek(ino);
+    return a != nullptr && a->replicated_everywhere;
   }
 
   /// Test hooks.
@@ -134,8 +135,8 @@ class MdsNode final : public NetEndpoint {
   std::size_t replica_holders(InodeId ino) const;
   /// Current directory-op temperature (dirfrag criterion) for a dir.
   double dir_op_temperature(InodeId dir, SimTime now) const {
-    auto it = dir_op_temp_.find(dir);
-    return it == dir_op_temp_.end() ? 0.0 : it->second.get(now);
+    const EntryAux* a = cache_.aux_peek(dir);
+    return (a != nullptr && a->has_dir_temp) ? a->dir_op_temp.get(now) : 0.0;
   }
   // ---- failure injection / takeover (mds_node.cc) -------------------------
   /// Mark the node failed (it is also taken off the network by the
@@ -154,9 +155,11 @@ class MdsNode final : public NetEndpoint {
   void clear_cache_for_rejoin();
 
   /// In-flight fetch diagnostics (tests).
-  std::size_t pending_disk_fetches() const { return pending_disk_.size(); }
+  std::size_t pending_disk_fetches() const {
+    return cache_.inflight_fetches(FetchChannel::kDisk);
+  }
   std::size_t pending_replica_fetches() const {
-    return pending_replica_.size();
+    return cache_.inflight_fetches(FetchChannel::kReplica);
   }
   std::size_t cpu_queue_depth() const { return cpu_.queue_depth(); }
 
@@ -293,26 +296,10 @@ class MdsNode final : public NetEndpoint {
   BoundedJournal journal_;
   MdsStats stats_;
 
-  // Fetch coalescing: ino -> continuations waiting on a disk fetch or a
-  // replica grant in flight.
-  std::unordered_map<InodeId,
-                     std::vector<std::function<void(CacheEntry*)>>>
-      pending_disk_;
-  std::unordered_map<InodeId,
-                     std::vector<std::function<void(CacheEntry*)>>>
-      pending_replica_;
-
-  // Coherence: for inodes this node is authoritative for, the set of
-  // peers holding replicas.
-  std::unordered_map<InodeId, std::unordered_set<MdsId>> replica_holders_;
-
-  // Traffic control: items this node decided to replicate everywhere.
-  std::unordered_set<InodeId> replicated_;
-  // Directory-op temperature (creates/unlinks/renames landing in a dir):
-  // the "busy" criterion for dynamic fragmentation. Traversal popularity
-  // deliberately does not count — otherwise near-root dirs would always
-  // fragment.
-  std::unordered_map<InodeId, DecayCounter> dir_op_temp_;
+  // Per-inode protocol state (fetch coalescing, replica registry,
+  // traffic-control replication, dirfrag temperature, pending attr
+  // deltas) lives in the cache's EntryAux sidecar, reached through the
+  // same index probe as the entry itself.
 
   // Balancer state.
   std::vector<double> peer_loads_;
@@ -342,11 +329,11 @@ class MdsNode final : public NetEndpoint {
 
   bool failed_ = false;
 
-  // Distributed attribute updates (section 4.2).
-  std::unordered_map<InodeId, std::uint32_t> attr_pending_;   // replica side
+  // Distributed attribute updates (section 4.2). Pending delta counts
+  // (replica side) and dirty-holder sets (authority side) live in the
+  // EntryAux sidecar; only the parked requests stay here (they hold a
+  // private RequestPtr type).
   bool attr_flush_scheduled_ = false;
-  std::unordered_map<InodeId, std::unordered_set<MdsId>>
-      attr_dirty_remote_;                                      // authority
   std::unordered_map<InodeId, std::vector<RequestPtr>> attr_waiters_;
 
   // Coalesced tier-2 writebacks: expired journal entries grouped by their

@@ -41,9 +41,12 @@ void MdsNode::note_popularity(RequestPtr req) {
         break;
     }
     if (dir != nullptr) {
-      auto [it, inserted] = dir_op_temp_.try_emplace(
-          dir->ino(), DecayCounter(ctx_.params.popularity_half_life));
-      it->second.hit(now);
+      EntryAux& a = cache_.aux_ensure(dir->ino());
+      if (!a.has_dir_temp) {
+        a.dir_op_temp = DecayCounter(ctx_.params.popularity_half_life);
+        a.has_dir_temp = true;
+      }
+      a.dir_op_temp.hit(now);
       CacheEntry* de = cache_.peek(dir->ino());
       if (de != nullptr) maybe_fragment_dir(dir, de);
     }
@@ -52,14 +55,14 @@ void MdsNode::note_popularity(RequestPtr req) {
 
 void MdsNode::maybe_replicate(FsNode* node, CacheEntry* entry) {
   const InodeId ino = node->ino();
-  if (replicated_.count(ino) != 0) return;
+  if (is_replicated_everywhere(ino)) return;
   if (authority_for(node) != id_) return;
   const double pop = entry->popularity.get(ctx_.sim.now());
   if (pop < ctx_.params.replication_threshold) return;
 
   // Replicate everywhere and remember it; future replies tell clients to
   // pick any node.
-  replicated_.insert(ino);
+  cache_.aux_ensure(ino).replicated_everywhere = true;
   for (MdsId peer = 0; peer < ctx_.num_mds; ++peer) {
     if (peer == id_) continue;
     register_replica(ino, peer);
@@ -79,33 +82,38 @@ void MdsNode::push_unsolicited_replica(FsNode* node, MdsId to) {
 void MdsNode::maybe_unreplicate() {
   if (!ctx_.traits.traffic_control) return;
   const SimTime now = ctx_.sim.now();
-  // Also prune cold directory-op temperature counters, and re-evaluate
-  // fragmentation of still-registered dirs whose storms have ended.
-  for (auto it = dir_op_temp_.begin(); it != dir_op_temp_.end();) {
-    if (it->second.get(now) < 0.5 &&
-        !ctx_.dirfrag.is_fragmented(it->first)) {
-      it = dir_op_temp_.erase(it);
-    } else {
-      if (ctx_.dirfrag.is_fragmented(it->first)) {
-        FsNode* dir = ctx_.tree.by_ino(it->first);
+  // One sweep over the sidecar records: prune cold directory-op
+  // temperature counters (re-evaluating fragmentation of still-hot ones
+  // whose storms have ended), and drop stale replicate-everywhere marks.
+  cache_.for_each_aux([&](InodeId ino, EntryAux& a) {
+    bool dirty = false;
+    if (a.has_dir_temp) {
+      if (a.dir_op_temp.get(now) < 0.5 && !ctx_.dirfrag.is_fragmented(ino)) {
+        a.has_dir_temp = false;
+        a.dir_op_temp = DecayCounter();
+        dirty = true;
+      } else if (ctx_.dirfrag.is_fragmented(ino)) {
+        FsNode* dir = ctx_.tree.by_ino(ino);
         if (dir != nullptr) maybe_fragment_dir(dir, nullptr);
       }
-      ++it;
     }
-  }
-  for (auto it = replicated_.begin(); it != replicated_.end();) {
-    const InodeId ino = *it;
-    FsNode* node = ctx_.tree.by_ino(ino);
-    bool drop = node == nullptr;
-    if (!drop && authority_for(node) == id_) {
-      CacheEntry* e = cache_.peek(ino);
-      const double pop = e ? e->popularity.get(now) : 0.0;
-      drop = pop < ctx_.params.unreplicate_threshold;
+    if (a.replicated_everywhere) {
+      FsNode* node = ctx_.tree.by_ino(ino);
+      bool drop = node == nullptr;
+      if (!drop && authority_for(node) == id_) {
+        CacheEntry* e = cache_.peek(ino);
+        const double pop = e ? e->popularity.get(now) : 0.0;
+        drop = pop < ctx_.params.unreplicate_threshold;
+      }
+      // Marks we merely *learned* (non-authority) expire with the replica
+      // itself (handled on eviction/invalidation).
+      if (drop) {
+        a.replicated_everywhere = false;
+        dirty = true;
+      }
     }
-    // Entries we merely *learned* are replicated (non-authority) expire
-    // with the replica itself (handled on eviction/invalidation).
-    it = drop ? replicated_.erase(it) : std::next(it);
-  }
+    if (dirty) cache_.aux_gc(ino);
+  });
 }
 
 std::vector<LocationHint> MdsNode::build_hints(const RequestPtr& req) {
@@ -119,7 +127,7 @@ std::vector<LocationHint> MdsNode::build_hints(const RequestPtr& req) {
     LocationHint h;
     h.ino = n->ino();
     h.authority = authority_for(n);
-    h.replicated_everywhere = tc && replicated_.count(n->ino()) != 0;
+    h.replicated_everywhere = tc && is_replicated_everywhere(n->ino());
     hints.push_back(h);
   }
   return hints;
@@ -147,8 +155,7 @@ void MdsNode::maybe_fragment_dir(FsNode* dir, CacheEntry* entry) {
   (void)entry;
   const SimTime now = ctx_.sim.now();
   const MdsParams& P = ctx_.params;
-  auto tit = dir_op_temp_.find(dir->ino());
-  const double pop = tit == dir_op_temp_.end() ? 0.0 : tit->second.get(now);
+  const double pop = dir_op_temperature(dir->ino(), now);
   const bool fragged = ctx_.dirfrag.is_fragmented(dir->ino());
 
   if (!fragged) {

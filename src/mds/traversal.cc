@@ -103,8 +103,8 @@ void MdsNode::fetch_local(FsNode* node, InsertKind kind,
     return;
   }
   const InodeId ino = node->ino();
-  auto [it, first] = pending_disk_.try_emplace(ino);
-  it->second.push_back(std::move(done));
+  const bool first =
+      cache_.add_fetch_waiter(ino, FetchChannel::kDisk, std::move(done));
   if (!first) return;  // coalesced with an in-flight fetch
 
   std::uint32_t nodes;
@@ -116,10 +116,7 @@ void MdsNode::fetch_local(FsNode* node, InsertKind kind,
   }
   const bool prefetch = !single_item;
   disk_.read_object(nodes, [this, ino, kind, prefetch]() {
-    auto pit = pending_disk_.find(ino);
-    assert(pit != pending_disk_.end());
-    auto waiters = std::move(pit->second);
-    pending_disk_.erase(pit);
+    auto waiters = cache_.take_fetch_waiters(ino, FetchChannel::kDisk);
 
     FsNode* node = ctx_.tree.by_ino(ino);
     if (node != nullptr) {
@@ -146,8 +143,8 @@ void MdsNode::fetch_replica(FsNode* node, MdsId auth, InsertKind kind,
     return;
   }
   const InodeId ino = node->ino();
-  auto [it, first] = pending_replica_.try_emplace(ino);
-  it->second.push_back(std::move(done));
+  const bool first =
+      cache_.add_fetch_waiter(ino, FetchChannel::kReplica, std::move(done));
   if (!first) return;  // coalesced with an in-flight request
 
   ++stats_.replica_requests_sent;
@@ -202,15 +199,13 @@ void MdsNode::handle_replica_grant(NetAddr from, const ReplicaGrantMsg& m) {
     if (node != nullptr) {
       cache_insert_anchored(node, InsertKind::kDemand,
                             /*authoritative=*/false);
-      replicated_.insert(ino);
+      cache_.aux_ensure(ino).replicated_everywhere = true;
     }
     return;
   }
 
-  auto pit = pending_replica_.find(ino);
-  if (pit == pending_replica_.end()) return;  // raced with invalidation
-  auto waiters = std::move(pit->second);
-  pending_replica_.erase(pit);
+  auto waiters = cache_.take_fetch_waiters(ino, FetchChannel::kReplica);
+  if (waiters.empty()) return;  // raced with invalidation
 
   if (node == nullptr) {
     for (auto& w : waiters) w(nullptr);
@@ -243,8 +238,9 @@ void MdsNode::insert_with_prefixes(FsNode* node, InsertKind kind,
   }
 
   // Walk root -> node, filling the first missing item each step. The op
-  // object owns itself and frees on completion (continuations reference
-  // it across async fetches).
+  // is shared by the continuations parked across async fetches and frees
+  // when the last reference drops — including when a simulation ends (or
+  // a rejoin clears the waiter lists) with the walk still stalled.
   struct PrefixWalkOp {
     MdsNode* self;
     FsNode* node;
@@ -255,12 +251,9 @@ void MdsNode::insert_with_prefixes(FsNode* node, InsertKind kind,
     std::vector<FsNode*> chain;
     std::size_t idx = 0;
 
-    void finish(CacheEntry* e) {
-      done(e);
-      delete this;
-    }
+    void finish(CacheEntry* e) { done(e); }
 
-    void step() {
+    void step(const std::shared_ptr<PrefixWalkOp>& op) {
       while (idx < chain.size()) {
         FsNode* cur = chain[idx];
         const bool is_target = cur == node;
@@ -282,17 +275,17 @@ void MdsNode::insert_with_prefixes(FsNode* node, InsertKind kind,
         }
         const InsertKind k = is_target ? kind : InsertKind::kPrefix;
         const MdsId auth = self->authority_for(cur);
-        auto resume = [this, is_target](CacheEntry* e) {
+        auto resume = [op, is_target](CacheEntry* e) {
           if (e == nullptr) {
-            finish(nullptr);
+            op->finish(nullptr);
             return;
           }
           if (is_target) {
-            finish(e);
+            op->finish(e);
             return;
           }
-          ++idx;
-          step();
+          ++op->idx;
+          op->step(op);
         };
         if (auth == self->id_) {
           // Grant/installation path: read the one dentry, not the whole
@@ -308,12 +301,10 @@ void MdsNode::insert_with_prefixes(FsNode* node, InsertKind kind,
     }
   };
 
-  auto* op = new PrefixWalkOp{this,         node,
-                              kind,         authoritative,
-                              have_payload, std::move(done),
-                              {},           0};
-  op->chain = node->ancestry();
-  op->step();
+  auto op = std::make_shared<PrefixWalkOp>(
+      PrefixWalkOp{this, node, kind, authoritative, have_payload,
+                   std::move(done), node->ancestry(), 0});
+  op->step(op);
 }
 
 // --------------------------------------------------------------------------

@@ -218,6 +218,136 @@ TEST_F(CacheTest, LazyHybridModeSkipsTreeInvariant) {
   EXPECT_EQ(c.check_invariants(), "");
 }
 
+TEST_F(CacheTest, PromotionMovesProbationToMain) {
+  MetadataCache c(10);
+  insert_chain(c, files[0]);
+  CacheEntry* e = c.insert(files[1], InsertKind::kPrefetch, true, 0);
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(e->in_probation);
+  CacheEntry* hit = c.lookup(files[1]->ino(), 1);
+  EXPECT_EQ(hit, e);  // slab addresses are stable
+  EXPECT_FALSE(e->in_probation);
+  EXPECT_EQ(c.check_invariants(), "");
+}
+
+TEST_F(CacheTest, EvictCallbackMayInsert) {
+  MetadataCache c(3);
+  insert_chain(c, files[0]);  // root, a, f0
+  bool reentered = false;
+  c.set_evict_callback([&](const CacheEntry& e) {
+    // The victim is already unlinked: peek must miss, and inserting other
+    // entries mid-eviction must be safe.
+    EXPECT_EQ(c.peek(e.node->ino()), nullptr);
+    if (!reentered && e.node == files[0]) {
+      reentered = true;
+      c.insert(files[2], InsertKind::kDemand, true, 5);
+    }
+  });
+  insert_chain(c, files[1]);  // overflows: evicts f0, callback adds f2
+  EXPECT_TRUE(reentered);
+  EXPECT_EQ(c.peek(files[0]->ino()), nullptr);
+  EXPECT_NE(c.peek(files[1]->ino()), nullptr);
+  EXPECT_LE(c.size(), 3u);
+  EXPECT_EQ(c.check_invariants(), "");
+}
+
+TEST_F(CacheTest, EvictCallbackMayErase) {
+  MetadataCache c(4);
+  insert_chain(c, files[0]);
+  insert_chain(c, files[1]);  // root, a, f0, f1
+  c.set_evict_callback([&](const CacheEntry& e) {
+    if (e.node == files[0]) c.erase(files[1]->ino());
+  });
+  insert_chain(c, files[2]);  // overflows: evicts f0, callback drops f1
+  EXPECT_EQ(c.peek(files[0]->ino()), nullptr);
+  EXPECT_EQ(c.peek(files[1]->ino()), nullptr);
+  EXPECT_NE(c.peek(files[2]->ino()), nullptr);
+  EXPECT_EQ(c.check_invariants(), "");
+}
+
+TEST_F(CacheTest, EraseWhilePinnedRefused) {
+  MetadataCache c(10);
+  CacheEntry* e = insert_chain(c, files[0]);
+  c.pin(e);
+  EXPECT_FALSE(c.erase(files[0]->ino()));
+  EXPECT_NE(c.peek(files[0]->ino()), nullptr);
+  EXPECT_EQ(c.check_invariants(), "");
+  c.unpin(e);
+  EXPECT_TRUE(c.erase(files[0]->ino()));
+  EXPECT_EQ(c.check_invariants(), "");
+}
+
+TEST_F(CacheTest, UnpinUnderflowSurfaces) {
+  MetadataCache c(10);
+  CacheEntry* e = insert_chain(c, files[0]);
+  EXPECT_EQ(c.stats().pin_underflows, 0u);
+  // Debug builds trip the assert; release builds count the underflow and
+  // leave the pin count uncorrupted instead of wrapping to 2^32-1.
+  EXPECT_DEBUG_DEATH(c.unpin(e), "matching pin");
+#ifdef NDEBUG
+  EXPECT_EQ(c.stats().pin_underflows, 1u);
+  EXPECT_EQ(e->pins, 0u);
+  EXPECT_TRUE(c.erase(files[0]->ino()));
+#endif
+}
+
+TEST_F(CacheTest, AuxOutlivesEntry) {
+  MetadataCache c(10);
+  insert_chain(c, files[0]);
+  const InodeId ino = files[0]->ino();
+  EntryAux& a = c.aux_ensure(ino);
+  a.replica_holders.push_back(2);
+  EXPECT_EQ(c.peek(ino)->aux, &a);  // entry linked to its sidecar
+  // The replica registry survives the entry being dropped (an authority
+  // keeps invalidating holders after shedding its own copy).
+  EXPECT_TRUE(c.erase(ino));
+  ASSERT_NE(c.aux_peek(ino), nullptr);
+  EXPECT_EQ(c.aux_peek(ino)->replica_holders.size(), 1u);
+  EXPECT_EQ(c.aux_count(), 1u);
+  // Draining the last field reclaims the record.
+  c.aux_peek(ino)->replica_holders.clear();
+  c.aux_gc(ino);
+  EXPECT_EQ(c.aux_peek(ino), nullptr);
+  EXPECT_EQ(c.aux_count(), 0u);
+  EXPECT_EQ(c.check_invariants(), "");
+}
+
+TEST_F(CacheTest, ReplicatedFlagDiesWithEntry) {
+  MetadataCache c(3);
+  insert_chain(c, files[0]);
+  c.aux_ensure(files[0]->ino()).replicated_everywhere = true;
+  insert_chain(c, files[1]);  // evicts f0
+  EXPECT_EQ(c.peek(files[0]->ino()), nullptr);
+  // replicated-everywhere is a property of the resident copy: cleared on
+  // eviction, and the then-empty sidecar is reclaimed.
+  EXPECT_EQ(c.aux_peek(files[0]->ino()), nullptr);
+  EXPECT_EQ(c.check_invariants(), "");
+}
+
+TEST_F(CacheTest, FetchCoalescing) {
+  MetadataCache c(10);
+  const InodeId ino = files[0]->ino();
+  int calls = 0;
+  auto w = [&](CacheEntry*) { ++calls; };
+  EXPECT_TRUE(c.add_fetch_waiter(ino, FetchChannel::kDisk, w));
+  EXPECT_FALSE(c.add_fetch_waiter(ino, FetchChannel::kDisk, w));
+  EXPECT_TRUE(c.fetch_inflight(ino, FetchChannel::kDisk));
+  EXPECT_EQ(c.inflight_fetches(FetchChannel::kDisk), 1u);
+  // Channels are independent: a replica request can be in flight for the
+  // same inode as a disk read.
+  EXPECT_TRUE(c.add_fetch_waiter(ino, FetchChannel::kReplica, w));
+  auto waiters = c.take_fetch_waiters(ino, FetchChannel::kDisk);
+  EXPECT_EQ(waiters.size(), 2u);
+  for (auto& fn : waiters) fn(nullptr);
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(c.inflight_fetches(FetchChannel::kDisk), 0u);
+  EXPECT_TRUE(c.take_fetch_waiters(ino, FetchChannel::kDisk).empty());
+  c.clear_fetch_waiters();
+  EXPECT_EQ(c.inflight_fetches(FetchChannel::kReplica), 0u);
+  EXPECT_EQ(c.aux_count(), 0u);
+  EXPECT_EQ(c.check_invariants(), "");
+}
+
 TEST_F(CacheTest, PopularityDecays) {
   MetadataCache c(10);
   CacheEntry* e = insert_chain(c, files[0]);
@@ -270,8 +400,18 @@ TEST_P(CacheProperty, RandomOpsPreserveInvariants) {
       }
     } else if (action < 0.8) {
       c.lookup(n->ino(), now);
-    } else {
+    } else if (action < 0.9) {
       c.erase(n->ino());
+    } else {
+      // Churn the protocol sidecar alongside the entries.
+      EntryAux& a = c.aux_ensure(n->ino());
+      if (rng.bernoulli(0.5)) {
+        a.replica_holders.push_back(1);
+      } else {
+        a.replica_holders.clear();
+        a.replicated_everywhere = rng.bernoulli(0.3);
+      }
+      c.aux_gc(n->ino());
     }
     if (step % 250 == 0) {
       ASSERT_EQ(c.check_invariants(), "") << "step " << step;

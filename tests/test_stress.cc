@@ -137,8 +137,10 @@ TEST(MigrationChurn, RepeatedForcedMigrationsStayConsistent) {
     for (int i = 0; i < cluster.num_mds(); ++i) {
       EXPECT_EQ(cluster.mds(i).frozen_subtrees(), 0u) << "hop " << hop;
     }
+    // Full structural audit after every migration phase: counters, LRU
+    // links, index and sidecar linkage must all still be consistent.
+    expect_caches_sane(cluster);
   }
-  expect_caches_sane(cluster);
   // Clients kept completing ops throughout the churn.
   std::uint64_t completed = 0;
   for (int c = 0; c < cluster.num_clients(); ++c) {
@@ -187,8 +189,10 @@ TEST(LongRun, HalfMinuteOfEverythingHoldsInvariants) {
   cfg.mds.dirfrag_temp_threshold = 200.0;  // let dirfrag engage too
   ClusterSim cluster(cfg);
   cluster.run_until(20 * kSecond);
+  expect_caches_sane(cluster);
   cluster.fail_mds(3);
   cluster.run_until(25 * kSecond);
+  expect_caches_sane(cluster);
   cluster.recover_mds(3);
   cluster.run_until(30 * kSecond);
   expect_caches_sane(cluster);
