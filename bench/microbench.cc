@@ -7,6 +7,8 @@
 #include "common/rng.h"
 #include "core/cluster.h"
 #include "fstree/generator.h"
+#include "net/network.h"
+#include "sim/queue_server.h"
 #include "sim/simulation.h"
 #include "storage/btree.h"
 
@@ -27,6 +29,7 @@ void BM_ZipfSample(benchmark::State& state) {
 BENCHMARK(BM_ZipfSample)->Arg(100)->Arg(100000);
 
 void BM_EventQueueChurn(benchmark::State& state) {
+  const std::uint64_t fb_base = inline_task_stats::heap_fallbacks;
   for (auto _ : state) {
     state.PauseTiming();
     Simulation sim;
@@ -36,9 +39,118 @@ void BM_EventQueueChurn(benchmark::State& state) {
     }
     sim.run();
   }
+  state.counters["task_heap_fallbacks"] = static_cast<double>(
+      inline_task_stats::heap_fallbacks - fb_base);
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_EventQueueChurn);
+
+// --- Event-engine hot-path benches (every simulated op rides on these;
+// the regression gate for sim/net core refactors) --------------------------
+
+void BM_EventScheduleFire(benchmark::State& state) {
+  const std::uint64_t fb_base = inline_task_stats::heap_fallbacks;
+  // Steady-state schedule+fire throughput: one long-lived simulation,
+  // batches of events with scattered delays (heap depth ~batch size).
+  Simulation sim;
+  constexpr int kBatch = 4096;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i) {
+      sim.schedule(static_cast<SimTime>((i * 2654435761u) % 9973),
+                   [&sink] { ++sink; });
+    }
+    sim.run();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.counters["task_heap_fallbacks"] = static_cast<double>(
+      inline_task_stats::heap_fallbacks - fb_base);
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_EventScheduleFire);
+
+void BM_EventCancelHeavy(benchmark::State& state) {
+  const std::uint64_t fb_base = inline_task_stats::heap_fallbacks;
+  // The client-timeout pattern: most scheduled events are cancelled
+  // before they fire (timeout armed per request, cancelled on reply).
+  Simulation sim;
+  constexpr int kBatch = 2048;
+  std::vector<EventHandle> handles;
+  handles.reserve(kBatch);
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    handles.clear();
+    for (int i = 0; i < kBatch; ++i) {
+      handles.push_back(sim.schedule(
+          static_cast<SimTime>((i * 40503u) % 7919), [&sink] { ++sink; }));
+    }
+    for (int i = 0; i < kBatch; i += 2) {
+      handles[static_cast<std::size_t>(i)].cancel();
+    }
+    sim.run();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.counters["task_heap_fallbacks"] = static_cast<double>(
+      inline_task_stats::heap_fallbacks - fb_base);
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_EventCancelHeavy);
+
+namespace {
+struct CountingEndpoint final : NetEndpoint {
+  std::uint64_t received = 0;
+  void on_message(NetAddr, MessagePtr) override { ++received; }
+};
+}  // namespace
+
+void BM_NetworkSendDeliver(benchmark::State& state) {
+  const std::uint64_t fb_base = inline_task_stats::heap_fallbacks;
+  // Message path cost: send + latency draw + FIFO clamp + delivery.
+  Simulation sim;
+  Network net(sim, NetworkParams{});
+  constexpr int kEndpoints = 16;
+  CountingEndpoint eps[kEndpoints];
+  for (auto& e : eps) net.attach(&e);
+  constexpr int kBatch = 1024;
+  std::uint32_t x = 1;
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i) {
+      x = x * 1664525u + 1013904223u;
+      const NetAddr from = static_cast<NetAddr>(x % kEndpoints);
+      const NetAddr to =
+          static_cast<NetAddr>((x / kEndpoints) % kEndpoints);
+      net.send(from, to, std::make_unique<Message>(MsgType::kHeartbeat));
+    }
+    sim.run();
+  }
+  std::uint64_t total = 0;
+  for (auto& e : eps) total += e.received;
+  benchmark::DoNotOptimize(total);
+  state.counters["task_heap_fallbacks"] = static_cast<double>(
+      inline_task_stats::heap_fallbacks - fb_base);
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_NetworkSendDeliver);
+
+void BM_QueueServerChurn(benchmark::State& state) {
+  const std::uint64_t fb_base = inline_task_stats::heap_fallbacks;
+  // Serialized-resource model: submit bursts against a busy server.
+  Simulation sim;
+  QueueServer server(sim, "bench");
+  constexpr int kBatch = 1024;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i) {
+      server.submit(100, [&sink] { ++sink; });
+    }
+    sim.run();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.counters["task_heap_fallbacks"] = static_cast<double>(
+      inline_task_stats::heap_fallbacks - fb_base);
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_QueueServerChurn);
 
 void BM_BTreeInsert(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

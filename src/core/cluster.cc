@@ -120,7 +120,7 @@ void ClusterSim::build() {
   std::vector<Client*> client_ptrs;
   for (auto& c : clients_) client_ptrs.push_back(c.get());
   metrics_ = std::make_unique<Metrics>(std::move(node_ptrs),
-                                       std::move(client_ptrs));
+                                       std::move(client_ptrs), &sim_);
 }
 
 void ClusterSim::run_until(SimTime t) {

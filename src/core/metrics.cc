@@ -8,8 +8,9 @@
 
 namespace mdsim {
 
-Metrics::Metrics(std::vector<MdsNode*> nodes, std::vector<Client*> clients)
-    : nodes_(std::move(nodes)), clients_(std::move(clients)) {
+Metrics::Metrics(std::vector<MdsNode*> nodes, std::vector<Client*> clients,
+                 const Simulation* sim)
+    : nodes_(std::move(nodes)), clients_(std::move(clients)), sim_(sim) {
   mds_tput_.resize(nodes_.size());
   base_replies_.assign(nodes_.size(), 0);
   base_forwards_.assign(nodes_.size(), 0);

@@ -8,6 +8,7 @@
 
 #include "common/stats.h"
 #include "common/types.h"
+#include "sim/simulation.h"
 
 namespace mdsim {
 
@@ -16,7 +17,8 @@ class Client;
 
 class Metrics {
  public:
-  Metrics(std::vector<MdsNode*> nodes, std::vector<Client*> clients);
+  Metrics(std::vector<MdsNode*> nodes, std::vector<Client*> clients,
+          const Simulation* sim = nullptr);
 
   /// Take one sample (called by the cluster on its sampling cadence).
   void sample(SimTime now);
@@ -50,9 +52,17 @@ class Metrics {
   std::uint64_t total_replies() const;
   std::uint64_t total_failures() const;
 
+  /// Event-engine health: schedule/fire/cancel volume and InlineTask
+  /// heap-fallback count (nonzero fallbacks on a hot path means an
+  /// oversized capture list re-introduced per-event allocations).
+  Simulation::Counters engine_counters() const {
+    return sim_ != nullptr ? sim_->counters() : Simulation::Counters{};
+  }
+
  private:
   std::vector<MdsNode*> nodes_;
   std::vector<Client*> clients_;
+  const Simulation* sim_ = nullptr;
 
   std::vector<TimeSeries> mds_tput_;
   TimeSeries avg_tput_;

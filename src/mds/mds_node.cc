@@ -51,7 +51,7 @@ MdsId MdsNode::authority_for(const FsNode* node) const {
   return ctx_.partition.authority_of(node);
 }
 
-void MdsNode::charge_cpu(SimTime amount, std::function<void()> then) {
+void MdsNode::charge_cpu(SimTime amount, InlineTask then) {
   cpu_.submit(amount, std::move(then));
 }
 
@@ -217,9 +217,8 @@ void MdsNode::route(RequestPtr req) {
     fwd->inner = req->msg;
     ++fwd->inner.hops;
     charge_cpu(ctx_.params.cpu_forward,
-               [this, to = auth, f = std::make_shared<MessagePtr>(
-                          std::move(fwd))]() mutable {
-                 ctx_.net.send(id_, to, std::move(*f));
+               [this, to = auth, f = std::move(fwd)]() mutable {
+                 ctx_.net.send(id_, to, std::move(f));
                });
     return;
   }

@@ -188,7 +188,7 @@ class MdsNode final : public NetEndpoint {
   void apply_update(RequestPtr req);
   void pin_entry(RequestPtr req, CacheEntry* e);
   void unpin_all(RequestPtr req);
-  void charge_cpu(SimTime amount, std::function<void()> then);
+  void charge_cpu(SimTime amount, InlineTask then);
 
   // ---- traversal engine (traversal.cc) ------------------------------------
   /// Continue walking req->chain from chain_idx; calls serve_target when

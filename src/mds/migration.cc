@@ -70,9 +70,8 @@ void MdsNode::begin_migration(FsNode* root, MdsId target) {
 
   const SimTime pack_cost =
       ctx_.params.cpu_migrate_per_item * outbound_->items.size();
-  charge_cpu(pack_cost, [this, target,
-                         m = std::make_shared<MessagePtr>(std::move(msg))]() {
-    ctx_.net.send(id_, target, std::move(*m));
+  charge_cpu(pack_cost, [this, target, m = std::move(msg)]() mutable {
+    ctx_.net.send(id_, target, std::move(m));
   });
 }
 

@@ -10,21 +10,29 @@ Network::Network(Simulation& sim, NetworkParams params)
 NetAddr Network::attach(NetEndpoint* endpoint) {
   assert(endpoint != nullptr);
   endpoints_.push_back(endpoint);
+  down_.push_back(0);
+  fifo_floor_.emplace_back();
   return static_cast<NetAddr>(endpoints_.size() - 1);
 }
 
 void Network::set_down(NetAddr addr, bool down) {
-  if (down) {
-    down_.insert(addr);
-  } else {
-    down_.erase(addr);
+  assert(addr >= 0 && static_cast<std::size_t>(addr) < down_.size());
+  std::uint8_t& flag = down_[static_cast<std::size_t>(addr)];
+  if (down && flag == 0) {
+    flag = 1;
+    ++down_count_;
+  } else if (!down && flag != 0) {
+    flag = 0;
+    --down_count_;
   }
 }
 
 void Network::send(NetAddr from, NetAddr to, MessagePtr msg) {
   assert(to >= 0 && static_cast<std::size_t>(to) < endpoints_.size());
   assert(from >= 0 && static_cast<std::size_t>(from) < endpoints_.size());
-  if (!down_.empty() && (down_.count(from) != 0 || down_.count(to) != 0)) {
+  if (down_count_ != 0 &&
+      (down_[static_cast<std::size_t>(from)] |
+       down_[static_cast<std::size_t>(to)]) != 0) {
     ++dropped_;
     return;
   }
@@ -38,23 +46,20 @@ void Network::send(NetAddr from, NetAddr to, MessagePtr msg) {
           rng_.exponential(static_cast<double>(params_.jitter_mean)));
     }
     // FIFO per (src,dst): never deliver before a previously sent message.
-    const std::uint64_t key =
-        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)) << 32) |
-        static_cast<std::uint32_t>(to);
-    SimTime deliver_at = sim_.now() + latency;
-    auto [it, inserted] = last_delivery_.try_emplace(key, deliver_at);
-    if (!inserted) {
-      if (deliver_at < it->second) deliver_at = it->second;
-      it->second = deliver_at;
+    auto& row = fifo_floor_[static_cast<std::size_t>(from)];
+    if (row.size() <= static_cast<std::size_t>(to)) {
+      row.resize(static_cast<std::size_t>(to) + 1, 0);
     }
+    SimTime& floor = row[static_cast<std::size_t>(to)];
+    SimTime deliver_at = sim_.now() + latency;
+    if (deliver_at < floor) deliver_at = floor;
+    floor = deliver_at;
     latency = deliver_at - sim_.now();
   }
 
   NetEndpoint* dst = endpoints_[static_cast<std::size_t>(to)];
-  // The shared_ptr shim lets the std::function be copyable.
-  auto shared = std::make_shared<MessagePtr>(std::move(msg));
-  sim_.schedule(latency, [dst, from, shared]() {
-    dst->on_message(from, std::move(*shared));
+  sim_.schedule(latency, [dst, from, m = std::move(msg)]() mutable {
+    dst->on_message(from, std::move(m));
   });
 }
 

@@ -4,12 +4,16 @@
 // endpoints are delivered in FIFO order (latency draws are made monotone
 // per (src,dst) pair), matching a TCP-like transport. Per-type message
 // counters feed the forwarding/overhead statistics in figures 6 and 7.
+//
+// Addresses are assigned densely from 0, so all per-endpoint state is held
+// in plain vectors: down flags are one byte per endpoint, and the per-pair
+// FIFO floors are per-source rows grown lazily to the highest destination
+// actually messaged (clients only ever message MDS nodes, so client rows
+// stay num_mds wide instead of endpoint_count wide).
 #pragma once
 
 #include <array>
 #include <cstdint>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/rng.h"
@@ -42,7 +46,10 @@ class Network {
 
   /// Failure injection: take an endpoint off the network (or back on).
   void set_down(NetAddr addr, bool down);
-  bool is_down(NetAddr addr) const { return down_.count(addr) != 0; }
+  bool is_down(NetAddr addr) const {
+    return addr >= 0 && static_cast<std::size_t>(addr) < down_.size() &&
+           down_[static_cast<std::size_t>(addr)] != 0;
+  }
   std::uint64_t dropped_messages() const { return dropped_; }
 
   std::uint64_t messages_sent(MsgType t) const {
@@ -59,11 +66,13 @@ class Network {
   NetworkParams params_;
   Rng rng_;
   std::vector<NetEndpoint*> endpoints_;
-  std::unordered_set<NetAddr> down_;
+  std::vector<std::uint8_t> down_;
+  std::size_t down_count_ = 0;
   std::uint64_t dropped_ = 0;
   std::array<std::uint64_t, kNumMsgTypes> counts_{};
-  /// Earliest permissible delivery per (src,dst) to preserve FIFO order.
-  std::unordered_map<std::uint64_t, SimTime> last_delivery_;
+  /// Earliest permissible delivery per (src,dst) to preserve FIFO order;
+  /// row `from` is indexed by `to` and grown on first use.
+  std::vector<std::vector<SimTime>> fifo_floor_;
 };
 
 }  // namespace mdsim

@@ -7,7 +7,7 @@ namespace mdsim {
 QueueServer::QueueServer(Simulation& sim, std::string name)
     : sim_(sim), name_(std::move(name)) {}
 
-void QueueServer::submit(SimTime service_time, std::function<void()> done) {
+void QueueServer::submit(SimTime service_time, InlineTask done) {
   queue_.push_back(Job{service_time, sim_.now(), std::move(done)});
   if (!busy_) start_next();
 }
@@ -18,16 +18,15 @@ void QueueServer::start_next() {
     return;
   }
   busy_ = true;
-  Job job = std::move(queue_.front());
+  in_service_ = std::move(queue_.front());
   queue_.pop_front();
-  wait_.add(to_seconds(sim_.now() - job.enqueued));
-  busy_ns_ += job.service;
-  sim_.schedule(job.service, [this, job = std::move(job)]() mutable {
-    finish(std::move(job));
-  });
+  wait_.add(to_seconds(sim_.now() - in_service_.enqueued));
+  busy_ns_ += in_service_.service;
+  sim_.schedule(in_service_.service, [this]() { finish(); });
 }
 
-void QueueServer::finish(Job job) {
+void QueueServer::finish() {
+  Job job = std::move(in_service_);
   ++completed_;
   // Chain the next job before invoking the callback so that re-entrant
   // submissions from `done` queue behind already-waiting work.

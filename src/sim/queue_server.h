@@ -10,11 +10,11 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <string>
 
 #include "common/stats.h"
 #include "common/types.h"
+#include "sim/inline_task.h"
 
 namespace mdsim {
 
@@ -27,7 +27,7 @@ class QueueServer {
 
   /// Submit a job with the given service time; `done` fires when it
   /// completes (after queueing + access_latency + service).
-  void submit(SimTime service_time, std::function<void()> done);
+  void submit(SimTime service_time, InlineTask done);
 
   /// Fixed latency added to every job, outside the serialized portion
   /// (i.e. it does not consume server capacity; models e.g. bus latency).
@@ -47,18 +47,22 @@ class QueueServer {
 
  private:
   struct Job {
-    SimTime service;
-    SimTime enqueued;
-    std::function<void()> done;
+    SimTime service = 0;
+    SimTime enqueued = 0;
+    InlineTask done;
   };
 
   void start_next();
-  void finish(Job job);
+  void finish();
 
   Simulation& sim_;
   std::string name_;
   SimTime access_latency_ = 0;
   std::deque<Job> queue_;
+  /// The job occupying the server while busy_. Kept here (not captured
+  /// into the completion event) so the event's task is just a `this`
+  /// pointer — the server is serialized, so one in-service job suffices.
+  Job in_service_;
   bool busy_ = false;
   std::uint64_t completed_ = 0;
   SimTime busy_ns_ = 0;

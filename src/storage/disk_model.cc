@@ -15,17 +15,17 @@ SimTime DiskModel::transfer_time(std::uint32_t nodes) const {
   return params_.transaction_time + extra * params_.per_node_time;
 }
 
-void DiskModel::read_object(std::uint32_t nodes, std::function<void()> done) {
+void DiskModel::read_object(std::uint32_t nodes, InlineTask done) {
   ++reads_;
   store_.submit(transfer_time(nodes), std::move(done));
 }
 
-void DiskModel::write_object(std::uint32_t nodes, std::function<void()> done) {
+void DiskModel::write_object(std::uint32_t nodes, InlineTask done) {
   ++writes_;
   store_.submit(transfer_time(nodes), std::move(done));
 }
 
-void DiskModel::journal_append(std::function<void()> done) {
+void DiskModel::journal_append(InlineTask done) {
   ++journal_appends_;
   journal_.submit(params_.journal_append_time, std::move(done));
 }

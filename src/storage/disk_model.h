@@ -8,7 +8,6 @@
 //    optionally near-zero latency to model NVRAM, section 4.6).
 #pragma once
 
-#include <functional>
 #include <string>
 
 #include "common/types.h"
@@ -35,11 +34,11 @@ class DiskModel {
   DiskModel(Simulation& sim, const DiskParams& params, std::string name);
 
   /// Read one stored object spanning `nodes` B+tree nodes.
-  void read_object(std::uint32_t nodes, std::function<void()> done);
+  void read_object(std::uint32_t nodes, InlineTask done);
   /// Write (back) an object touching `nodes` B+tree nodes.
-  void write_object(std::uint32_t nodes, std::function<void()> done);
+  void write_object(std::uint32_t nodes, InlineTask done);
   /// Append a journal entry.
-  void journal_append(std::function<void()> done);
+  void journal_append(InlineTask done);
 
   std::uint64_t reads() const { return reads_; }
   std::uint64_t writes() const { return writes_; }

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON result files.
+
+Usage:
+    tools/bench_compare.py OLD.json NEW.json [--filter REGEX]
+                           [--min-ratio R]
+
+Prints a per-benchmark table of old/new time and the speedup ratio
+(old_time / new_time, so >1 means NEW is faster). When a file contains
+repetition aggregates, the `_mean` rows are used and raw repetitions are
+ignored; otherwise the plain rows are used. Benchmarks present in only
+one file are listed separately.
+
+With --min-ratio, exits non-zero if any compared benchmark's speedup
+falls below R — usable as a CI regression gate.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+
+def load_benchmarks(path):
+    """Return {name: benchmark-dict}, preferring `_mean` aggregates."""
+    with open(path) as f:
+        data = json.load(f)
+    rows = data.get("benchmarks", [])
+    means = {}
+    plain = {}
+    for b in rows:
+        name = b.get("name", "")
+        run_type = b.get("run_type", "iteration")
+        if run_type == "aggregate":
+            if b.get("aggregate_name") == "mean":
+                means[name.removesuffix("_mean")] = b
+        else:
+            plain[name] = b
+    # Aggregates win: if a benchmark was run with repetitions, its raw
+    # repetition rows describe single reps, not the summary.
+    merged = dict(plain)
+    merged.update(means)
+    return merged
+
+
+def fmt_time(b):
+    return f"{b['real_time']:.1f} {b.get('time_unit', 'ns')}"
+
+
+def fmt_rate(b):
+    ips = b.get("items_per_second")
+    return f"{ips / 1e6:.2f}M/s" if ips else "-"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("old", help="baseline benchmark JSON")
+    ap.add_argument("new", help="candidate benchmark JSON")
+    ap.add_argument("--filter", default="", metavar="REGEX",
+                    help="only compare benchmarks matching REGEX")
+    ap.add_argument("--min-ratio", type=float, default=None, metavar="R",
+                    help="fail (exit 1) if any speedup ratio is below R")
+    args = ap.parse_args()
+
+    old = load_benchmarks(args.old)
+    new = load_benchmarks(args.new)
+    if args.filter:
+        rx = re.compile(args.filter)
+        old = {k: v for k, v in old.items() if rx.search(k)}
+        new = {k: v for k, v in new.items() if rx.search(k)}
+
+    common = [n for n in old if n in new]
+    if not common:
+        print("no common benchmarks to compare", file=sys.stderr)
+        return 1
+
+    name_w = max(len(n) for n in common)
+    header = (f"{'benchmark':<{name_w}}  {'old':>12}  {'new':>12}  "
+              f"{'speedup':>8}  {'old rate':>10}  {'new rate':>10}")
+    print(header)
+    print("-" * len(header))
+
+    worst = None
+    for name in common:
+        ob, nb = old[name], new[name]
+        if ob.get("time_unit", "ns") != nb.get("time_unit", "ns"):
+            print(f"{name:<{name_w}}  (mismatched time units, skipped)")
+            continue
+        ratio = ob["real_time"] / nb["real_time"] if nb["real_time"] else 0.0
+        worst = ratio if worst is None else min(worst, ratio)
+        print(f"{name:<{name_w}}  {fmt_time(ob):>12}  {fmt_time(nb):>12}  "
+              f"{ratio:>7.2f}x  {fmt_rate(ob):>10}  {fmt_rate(nb):>10}")
+
+    for name in sorted(set(old) - set(new)):
+        print(f"{name:<{name_w}}  only in {args.old}")
+    for name in sorted(set(new) - set(old)):
+        print(f"{name:<{name_w}}  only in {args.new}")
+
+    if args.min_ratio is not None and worst is not None:
+        if worst < args.min_ratio:
+            print(f"\nFAIL: worst speedup {worst:.2f}x is below "
+                  f"--min-ratio {args.min_ratio}", file=sys.stderr)
+            return 1
+        print(f"\nOK: worst speedup {worst:.2f}x >= {args.min_ratio}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
