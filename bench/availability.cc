@@ -1,0 +1,107 @@
+// Availability experiment: the full failure lifecycle, measured.
+//
+// A scripted FaultPlan crashes one MDS mid-run and restarts it later.
+// Survivors detect the death from missed heartbeats (no oracle), take
+// over its delegations and warm their caches from its journal; the
+// restarted node replays its log through the disk model and rejoins.
+// We report the paper-relevant spans — detection latency, the
+// unavailability window (crash -> takeover) and recovery time (restart
+// -> rejoin) — alongside the throughput timeline that shows the dip and
+// the climb back.
+#include "bench_util.h"
+#include "core/fault_plan.h"
+
+using namespace mdsim;
+using namespace mdsim::bench;
+
+namespace {
+
+void print_summary(const char* label, const Summary& s) {
+  std::cout << "  " << label << ": ";
+  if (s.count() == 0) {
+    std::cout << "(no samples)\n";
+    return;
+  }
+  std::cout << fmt_double(s.mean(), 3) << " s (n=" << s.count() << ")\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  banner("Availability — crash, detection, takeover, restart, rejoin",
+         "paper: section 4.6 (failure recovery via shared storage and "
+         "journal replay)");
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+
+  SimConfig cfg;
+  cfg.strategy = StrategyKind::kDynamicSubtree;
+  cfg.num_mds = 4;
+  cfg.num_clients = quick ? 160 : 400;
+  cfg.fs.num_users = 24 * cfg.num_mds;
+  cfg.fs.nodes_per_user = quick ? 250 : 400;
+  cfg.mds.cache_capacity = 3000;
+  cfg.duration = 40 * kSecond;
+  cfg.warmup = 3 * kSecond;
+  cfg.client_request_timeout = kSecond;
+
+  const SimTime crash_at = 10 * kSecond;
+  const SimTime restart_at = 18 * kSecond;
+  const MdsId victim = 1;
+
+  ClusterSim cluster(cfg);
+  cluster.run_until(0);
+  FaultPlan plan;
+  plan.crash(crash_at, victim, /*warm=*/true).restart(restart_at, victim);
+  plan.arm(cluster);
+  cluster.run_until(cfg.duration);
+
+  Metrics& m = cluster.metrics();
+  CsvWriter csv(csv_path("availability"));
+  csv.header({"time_s", "avg_tput"});
+  for (const auto& p : m.avg_throughput().points()) {
+    csv.field(to_seconds(p.time)).field(p.value);
+    csv.end_row();
+  }
+
+  std::uint64_t retries = 0, stale = 0, failed = 0;
+  for (int c = 0; c < cluster.num_clients(); ++c) {
+    const ClientStats& s = cluster.client(c).stats();
+    retries += s.retries;
+    stale += s.stale_replies;
+    failed += s.ops_failed;
+  }
+  std::uint64_t detections = 0, takeovers = 0, warm_items = 0;
+  for (int i = 0; i < cluster.num_mds(); ++i) {
+    const MdsStats& s = cluster.mds(i).stats();
+    detections += s.peer_down_detections;
+    takeovers += s.takeovers;
+    warm_items += s.takeover_warm_items;
+  }
+
+  const double before = m.avg_throughput().mean_in(cfg.warmup, crash_at);
+  const double dip =
+      m.avg_throughput().mean_in(crash_at, crash_at + 5 * kSecond);
+  const double recovered =
+      m.avg_throughput().mean_in(restart_at + 5 * kSecond, cfg.duration);
+
+  std::cout << "Lifecycle spans (FaultLog):\n";
+  print_summary("detection latency (crash -> first survivor detection)",
+                m.detection_latency_seconds());
+  print_summary("unavailability (crash -> delegations taken over)",
+                m.unavailability_seconds());
+  print_summary("recovery time (restart -> journal replayed, rejoined)",
+                m.recovery_time_seconds());
+  std::cout << "Counters: detections " << detections << "; takeovers "
+            << takeovers << "; warm-replayed items " << warm_items
+            << "; client retries " << retries << "; stale replies " << stale
+            << "; ops abandoned " << failed << "\n";
+  std::cout << "Throughput: healthy " << fmt_double(before, 0)
+            << " ops/s; crash window " << fmt_double(dip, 0)
+            << "; after rejoin " << fmt_double(recovered, 0) << "\n";
+  std::cout << "Expected: a dip bounded by the heartbeat-miss horizon "
+               "(detection is ~3 heartbeat periods), then recovery to the "
+               "pre-crash level once the restarted node replays its "
+               "journal and reacquires load.\n";
+  std::cout << "CSV: " << csv_path("availability") << "\n";
+  return 0;
+}

@@ -109,7 +109,28 @@ void Client::issue(const Operation& op) {
       schedule_next();
       return;
     }
-    issue(inflight_op_);
+    // Exponential backoff with jitter: the whole herd stranded by a dead
+    // node times out together; spreading the re-issues over [d/2, d)
+    // keeps the survivors (and the node when it returns) from absorbing
+    // one synchronized stampede per timeout period.
+    const int shift = attempts_ - 1 < 6 ? attempts_ - 1 : 6;
+    SimTime d = retry_backoff_base_ << shift;
+    if (d > retry_backoff_cap_) d = retry_backoff_cap_;
+    const SimTime delay =
+        d / 2 + static_cast<SimTime>(rng_.uniform_double() *
+                                     static_cast<double>(d / 2));
+    retry_.cancel();
+    retry_ = sim_.schedule(delay, [this]() {
+      if (inflight_req_ == 0) return;
+      if (!tree_.alive(inflight_op_.target)) {
+        inflight_req_ = 0;
+        attempts_ = 0;
+        ++stats_.ops_failed;
+        schedule_next();
+        return;
+      }
+      issue(inflight_op_);
+    });
   });
 }
 
@@ -117,10 +138,16 @@ void Client::on_message(NetAddr from, MessagePtr msg) {
   (void)from;
   if (msg->type != MsgType::kClientReply) return;
   auto& reply = static_cast<ClientReplyMsg&>(*msg);
-  if (reply.req_id != inflight_req_) return;  // stale (late after a retry)
+  if (reply.req_id != inflight_req_) {
+    // Late reply to a retried request, or a network-duplicated reply to
+    // one already accepted: count and ignore (the op was settled once).
+    ++stats_.stale_replies;
+    return;
+  }
   inflight_req_ = 0;
   attempts_ = 0;
   timeout_.cancel();
+  retry_.cancel();
 
   ++stats_.ops_completed;
   if (!reply.success) ++stats_.ops_failed;

@@ -30,6 +30,7 @@ struct ClientStats {
   std::uint64_t ops_failed = 0;
   std::uint64_t forwarded_replies = 0;  // replies that took >0 MDS hops
   std::uint64_t retries = 0;            // timeouts (e.g. a failed MDS)
+  std::uint64_t stale_replies = 0;      // late/duplicate replies ignored
   Summary latency_seconds;
 };
 
@@ -57,6 +58,15 @@ class Client final : public NetEndpoint {
   /// healthy clusters latencies sit far below it.
   void set_request_timeout(SimTime t) { request_timeout_ = t; }
 
+  /// Retries back off exponentially (base << attempt, capped) with
+  /// deterministic jitter in [d/2, d), so a crowd of clients stranded by
+  /// a dead node doesn't re-stampede it in lockstep on recovery. The rng
+  /// is only consulted on retries: healthy runs draw nothing.
+  void set_retry_backoff(SimTime base, SimTime cap) {
+    retry_backoff_base_ = base;
+    retry_backoff_cap_ = cap;
+  }
+
  private:
   void schedule_next();
   void issue(const Operation& op);
@@ -82,7 +92,10 @@ class Client final : public NetEndpoint {
   SimTime request_timeout_ = 5 * kSecond;
   Operation inflight_op_;  // kept for timeout retries
   int attempts_ = 0;
+  SimTime retry_backoff_base_ = 250 * kMillisecond;
+  SimTime retry_backoff_cap_ = 2 * kSecond;
   EventHandle timeout_;
+  EventHandle retry_;
 };
 
 }  // namespace mdsim

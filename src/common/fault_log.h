@@ -1,0 +1,129 @@
+// Failure-lifecycle incident log (paper section 4.6 made measurable).
+//
+// Every MDS crash opens an incident; the cluster and the nodes stamp the
+// lifecycle milestones onto it as they happen: first detection by a
+// survivor (missed heartbeats), takeover (delegations redistributed and
+// the journal replayed by heirs), restart (process back, replaying its
+// log), rejoin (replay finished, serving again) and re-mark-up (the first
+// survivor that heard a heartbeat again). Metrics derives detection
+// latency, unavailability windows and recovery time from these stamps.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace mdsim {
+
+struct FaultIncident {
+  static constexpr SimTime kUnset = ~SimTime{0};
+
+  MdsId node = kInvalidMds;
+  SimTime crashed_at = kUnset;
+  SimTime detected_at = kUnset;  // first survivor detection
+  MdsId detected_by = kInvalidMds;
+  SimTime takeover_at = kUnset;  // delegations redistributed
+  SimTime restarted_at = kUnset;  // process back, replay begins
+  SimTime rejoined_at = kUnset;   // replay done, serving again
+  SimTime remarked_up_at = kUnset;  // first peer marked it up again
+  bool open = true;
+
+  bool has(SimTime t) const { return t != kUnset; }
+};
+
+class FaultLog {
+ public:
+  void note_crash(MdsId node, SimTime now) {
+    // A re-crash closes any incident still open for the node.
+    if (FaultIncident* inc = open_incident(node)) inc->open = false;
+    FaultIncident fresh;
+    fresh.node = node;
+    fresh.crashed_at = now;
+    incidents_.push_back(fresh);
+  }
+
+  void note_detection(MdsId node, MdsId by, SimTime now) {
+    FaultIncident* inc = open_incident(node);
+    if (inc == nullptr || inc->has(inc->detected_at)) return;
+    inc->detected_at = now;
+    inc->detected_by = by;
+  }
+
+  void note_takeover(MdsId node, SimTime now) {
+    FaultIncident* inc = open_incident(node);
+    if (inc == nullptr || inc->has(inc->takeover_at)) return;
+    inc->takeover_at = now;
+  }
+
+  void note_restart(MdsId node, SimTime now) {
+    FaultIncident* inc = open_incident(node);
+    if (inc == nullptr || inc->has(inc->restarted_at)) return;
+    inc->restarted_at = now;
+  }
+
+  void note_rejoin(MdsId node, SimTime now) {
+    FaultIncident* inc = open_incident(node);
+    if (inc == nullptr || inc->has(inc->rejoined_at)) return;
+    inc->rejoined_at = now;
+    maybe_close(*inc);
+  }
+
+  void note_marked_up(MdsId node, SimTime now) {
+    FaultIncident* inc = open_incident(node);
+    if (inc == nullptr || inc->has(inc->remarked_up_at)) return;
+    inc->remarked_up_at = now;
+    maybe_close(*inc);
+  }
+
+  const std::vector<FaultIncident>& incidents() const { return incidents_; }
+
+  /// Crash -> first survivor detection.
+  Summary detection_latency_seconds() const {
+    return span([](const FaultIncident& i) { return i.detected_at; },
+                [](const FaultIncident& i) { return i.crashed_at; });
+  }
+  /// Crash -> delegations redistributed: the window in which the dead
+  /// node's territory has no authority at all.
+  Summary unavailability_seconds() const {
+    return span([](const FaultIncident& i) { return i.takeover_at; },
+                [](const FaultIncident& i) { return i.crashed_at; });
+  }
+  /// Restart -> journal replay finished (the node serves again).
+  Summary recovery_time_seconds() const {
+    return span([](const FaultIncident& i) { return i.rejoined_at; },
+                [](const FaultIncident& i) { return i.restarted_at; });
+  }
+
+ private:
+  // Rejoin (replay done) and re-mark-up (peers hear heartbeats again)
+  // race freely — whichever lands second completes the lifecycle.
+  static void maybe_close(FaultIncident& inc) {
+    if (inc.has(inc.rejoined_at) && inc.has(inc.remarked_up_at)) {
+      inc.open = false;
+    }
+  }
+
+  FaultIncident* open_incident(MdsId node) {
+    for (auto it = incidents_.rbegin(); it != incidents_.rend(); ++it) {
+      if (it->node == node && it->open) return &*it;
+    }
+    return nullptr;
+  }
+
+  template <typename End, typename Begin>
+  Summary span(End end, Begin begin) const {
+    Summary s;
+    for (const FaultIncident& i : incidents_) {
+      const SimTime e = end(i), b = begin(i);
+      if (!i.has(e) || !i.has(b) || e < b) continue;
+      s.add(to_seconds(e - b));
+    }
+    return s;
+  }
+
+  std::vector<FaultIncident> incidents_;
+};
+
+}  // namespace mdsim

@@ -43,7 +43,7 @@ void ClusterSim::build() {
 
   ctx_ = std::make_unique<ClusterContext>(ClusterContext{
       sim_, *net_, tree_, store_, *partition_, *dirfrag_, anchors_,
-      lazy_.get(), traits, mds_params, config_.num_mds, {}});
+      lazy_.get(), traits, mds_params, config_.num_mds, &fault_log_, {}});
 
   // --- MDS nodes (network addresses == MdsIds, attached first) -----------
   mds_nodes_.reserve(static_cast<std::size_t>(config_.num_mds));
@@ -112,6 +112,8 @@ void ClusterSim::build() {
           100 + static_cast<std::uint32_t>(c % config_.fs.num_users));
     }
     clients_.back()->set_request_timeout(config_.client_request_timeout);
+    clients_.back()->set_retry_backoff(config_.client_backoff_base,
+                                       config_.client_backoff_cap);
   }
 
   // --- metrics -------------------------------------------------------------
@@ -121,6 +123,7 @@ void ClusterSim::build() {
   for (auto& c : clients_) client_ptrs.push_back(c.get());
   metrics_ = std::make_unique<Metrics>(std::move(node_ptrs),
                                        std::move(client_ptrs), &sim_);
+  metrics_->set_fault_log(&fault_log_);
 }
 
 void ClusterSim::run_until(SimTime t) {
@@ -148,10 +151,24 @@ void ClusterSim::run() { run_until(config_.duration); }
 void ClusterSim::fail_mds(MdsId failed, bool warm_takeover) {
   build();
   assert(failed >= 0 && failed < config_.num_mds && config_.num_mds > 1);
+  ctx_->params.warm_takeover = warm_takeover;
   MdsNode& dead = mds(failed);
   dead.set_failed(true);
   net_->set_down(failed, true);
+  fault_log_.note_crash(failed, sim_.now());
 
+  // Strategies that exchange balancer heartbeats detect the crash
+  // themselves: the node simply goes silent, survivors declare it dead
+  // after heartbeat_miss_threshold missed periods, and the lowest live id
+  // performs the takeover (recovery.cc). Nothing more to do here — the
+  // unavailability window between crash and takeover is the measurement.
+  if (traits_for(config_.strategy).load_balancing &&
+      ctx_->params.failure_detection) {
+    return;
+  }
+
+  // No heartbeats (hashed / static strategies) or detection disabled:
+  // apply the redistribution directly, as an external monitor would.
   std::vector<MdsId> survivors;
   for (MdsId i = 0; i < config_.num_mds; ++i) {
     if (i == failed || mds(i).failed()) continue;
@@ -159,10 +176,11 @@ void ClusterSim::fail_mds(MdsId failed, bool warm_takeover) {
     mds(i).mark_peer_down(failed);
   }
   assert(!survivors.empty());
+  fault_log_.note_detection(failed, survivors.front(), sim_.now());
 
-  // Redistribute the dead node's territory (subtree strategies; hashed
-  // placements would re-map their hash ranges, which is exactly the
-  // expansion/contraction weakness the paper describes — out of scope).
+  // Subtree strategies re-delegate; hashed placements would re-map their
+  // hash ranges, which is exactly the expansion/contraction weakness the
+  // paper describes — out of scope.
   auto* subtree = dynamic_cast<SubtreePartition*>(partition_.get());
   std::vector<MdsId> takeover_nodes;
   if (subtree != nullptr) {
@@ -178,6 +196,7 @@ void ClusterSim::fail_mds(MdsId failed, bool warm_takeover) {
     }
   }
   if (takeover_nodes.empty()) takeover_nodes.push_back(survivors.front());
+  fault_log_.note_takeover(failed, sim_.now());
 
   if (warm_takeover) {
     // The failed node's journal lives on shared storage: every takeover
@@ -197,13 +216,22 @@ void ClusterSim::recover_mds(MdsId node) {
   build();
   MdsNode& n = mds(node);
   assert(n.failed());
-  n.clear_cache_for_rejoin();
   n.set_failed(false);
   net_->set_down(node, false);
+  fault_log_.note_restart(node, sim_.now());
+  // Journal replay + cache warm-up with real disk latency; serving
+  // resumes immediately, recovering() clears when the replay lands.
+  n.restart();
+
+  if (traits_for(config_.strategy).load_balancing &&
+      ctx_->params.failure_detection) {
+    return;  // peers mark it up when its heartbeats resume
+  }
   for (MdsId i = 0; i < config_.num_mds; ++i) {
     if (i == node || mds(i).failed()) continue;
     mds(i).mark_peer_up(node);
   }
+  fault_log_.note_marked_up(node, sim_.now());
 }
 
 }  // namespace mdsim

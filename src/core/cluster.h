@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "client/client.h"
+#include "common/fault_log.h"
 #include "core/config.h"
 #include "core/metrics.h"
 #include "mds/mds_node.h"
@@ -27,15 +28,24 @@ class ClusterSim {
   /// Run to an arbitrary time (tests drive the simulation piecewise).
   void run_until(SimTime t);
 
-  /// Failure injection (paper sections 2.1.2 and 4.6): take an MDS off
-  /// the network, redistribute its delegations to the survivors, and —
-  /// if `warm_takeover` — have the takeover nodes replay the failed
-  /// node's bounded journal from shared storage to preload their caches
-  /// with its working set.
+  /// Crash an MDS (paper sections 2.1.2 and 4.6): the node goes silent
+  /// and off the network; nothing else is told. Survivors detect the
+  /// death from missed balancer heartbeats and the lowest live id
+  /// redistributes the dead node's delegations — replaying its bounded
+  /// journal into the heirs when `warm_takeover` (which sets
+  /// MdsParams::warm_takeover cluster-wide for this run). Strategies
+  /// without heartbeats (hashed / static subtree) get the redistribution
+  /// applied directly, as they have no detector to find it.
   void fail_mds(MdsId failed, bool warm_takeover = true);
-  /// Bring a failed MDS back (cold: it dropped its cache, having missed
-  /// invalidations while down). The balancer re-populates it over time.
+  /// Restart a crashed MDS: rejoin the network, replay its own bounded
+  /// journal against the object store (real disk latency), and resume
+  /// serving. Peers mark it back up when its heartbeats resume; the
+  /// balancer re-populates it with load over time.
   void recover_mds(MdsId node);
+
+  /// Failure-lifecycle incident log (crash / detection / takeover /
+  /// restart / rejoin timestamps for every injected fault).
+  FaultLog& fault_log() { return fault_log_; }
 
   const SimConfig& config() const { return config_; }
   Simulation& sim() { return sim_; }
@@ -74,6 +84,7 @@ class ClusterSim {
   std::unique_ptr<Workload> workload_;
   std::vector<std::unique_ptr<Client>> clients_;
   std::unique_ptr<Metrics> metrics_;
+  FaultLog fault_log_;
   bool built_ = false;
   bool started_ = false;
 };

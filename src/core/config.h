@@ -61,6 +61,11 @@ struct SimConfig {
   /// Client request timeout (retry to a random node on silence; only
   /// reached when a server has failed).
   SimTime client_request_timeout = 5 * kSecond;
+  /// Retry backoff: delay before the k-th re-issue is jittered within
+  /// [d/2, d) where d = base << (k-1), capped. Spreads the retry herd a
+  /// dead node strands so recovery isn't met with a stampede.
+  SimTime client_backoff_base = 250 * kMillisecond;
+  SimTime client_backoff_cap = 2 * kSecond;
 
   /// Simulated run length; statistics reset at `warmup`.
   SimTime duration = 20 * kSecond;

@@ -1,0 +1,43 @@
+#include "core/fault_plan.h"
+
+namespace mdsim {
+
+FaultPlan& FaultPlan::crash(SimTime at, MdsId node, bool warm) {
+  crashes_.push_back(CrashAction{at, node, warm});
+  return *this;
+}
+
+FaultPlan& FaultPlan::restart(SimTime at, MdsId node) {
+  restarts_.push_back(RestartAction{at, node});
+  return *this;
+}
+
+FaultPlan& FaultPlan::flaky_link(SimTime from, SimTime until, NetAddr a,
+                                 NetAddr b, const LinkFault& fault) {
+  links_.push_back(LinkAction{from, until, a, b, fault});
+  return *this;
+}
+
+void FaultPlan::arm(ClusterSim& cluster) const {
+  Simulation& sim = cluster.sim();
+  for (const CrashAction& c : crashes_) {
+    sim.schedule_at(c.at, [&cluster, node = c.node, warm = c.warm]() {
+      cluster.fail_mds(node, warm);
+    });
+  }
+  for (const RestartAction& r : restarts_) {
+    sim.schedule_at(r.at, [&cluster, node = r.node]() {
+      cluster.recover_mds(node);
+    });
+  }
+  for (const LinkAction& l : links_) {
+    sim.schedule_at(l.from, [&cluster, a = l.a, b = l.b, fault = l.fault]() {
+      cluster.network().set_link_fault(a, b, fault);
+    });
+    sim.schedule_at(l.until, [&cluster, a = l.a, b = l.b]() {
+      cluster.network().clear_link_fault(a, b);
+    });
+  }
+}
+
+}  // namespace mdsim

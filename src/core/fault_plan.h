@@ -1,0 +1,63 @@
+// Deterministic fault-injection scenarios.
+//
+// A FaultPlan scripts a timed failure schedule against a ClusterSim —
+// crash MDS 1 at t=8s, restart it at t=15s, make the 2<->3 link flaky
+// from t=10s to t=12s — and arms it as ordinary simulation events, so a
+// chaos run is exactly as reproducible as a healthy one: same seed, same
+// plan, same byte-for-byte metrics. Used by the chaos tests, the
+// availability bench and the CLI.
+#pragma once
+
+#include <vector>
+
+#include "core/cluster.h"
+#include "net/network.h"
+
+namespace mdsim {
+
+class FaultPlan {
+ public:
+  /// Crash `node` at `at` (survivors detect it via heartbeats; see
+  /// ClusterSim::fail_mds). `warm` selects warm vs cold takeover.
+  FaultPlan& crash(SimTime at, MdsId node, bool warm = true);
+
+  /// Restart a crashed node at `at` (journal replay + rejoin).
+  FaultPlan& restart(SimTime at, MdsId node);
+
+  /// Degrade the a<->b link (both directions) with `fault` from `from`
+  /// until `until`, then restore it.
+  FaultPlan& flaky_link(SimTime from, SimTime until, NetAddr a, NetAddr b,
+                        const LinkFault& fault);
+
+  /// Schedule every scripted action on the cluster's simulation clock.
+  /// The cluster must outlive the run; call once.
+  void arm(ClusterSim& cluster) const;
+
+  bool empty() const {
+    return crashes_.empty() && restarts_.empty() && links_.empty();
+  }
+
+ private:
+  struct CrashAction {
+    SimTime at;
+    MdsId node;
+    bool warm;
+  };
+  struct RestartAction {
+    SimTime at;
+    MdsId node;
+  };
+  struct LinkAction {
+    SimTime from;
+    SimTime until;
+    NetAddr a;
+    NetAddr b;
+    LinkFault fault;
+  };
+
+  std::vector<CrashAction> crashes_;
+  std::vector<RestartAction> restarts_;
+  std::vector<LinkAction> links_;
+};
+
+}  // namespace mdsim

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/fault_log.h"
 #include "common/stats.h"
 #include "common/types.h"
 #include "sim/simulation.h"
@@ -59,10 +60,29 @@ class Metrics {
     return sim_ != nullptr ? sim_->counters() : Simulation::Counters{};
   }
 
+  // --- failure lifecycle ---------------------------------------------------
+  void set_fault_log(const FaultLog* log) { faults_ = log; }
+  const FaultLog* fault_log() const { return faults_; }
+  /// Crash -> first survivor declaring it dead, per incident.
+  Summary detection_latency_seconds() const {
+    return faults_ != nullptr ? faults_->detection_latency_seconds()
+                              : Summary{};
+  }
+  /// Crash -> delegations redistributed (the unavailability window for
+  /// the dead node's territory).
+  Summary unavailability_seconds() const {
+    return faults_ != nullptr ? faults_->unavailability_seconds() : Summary{};
+  }
+  /// Restart -> journal replay done (cache warm, serving at speed).
+  Summary recovery_time_seconds() const {
+    return faults_ != nullptr ? faults_->recovery_time_seconds() : Summary{};
+  }
+
  private:
   std::vector<MdsNode*> nodes_;
   std::vector<Client*> clients_;
   const Simulation* sim_ = nullptr;
+  const FaultLog* faults_ = nullptr;
 
   std::vector<TimeSeries> mds_tput_;
   TimeSeries avg_tput_;

@@ -165,14 +165,16 @@ bool MdsNode::gather_remote_attrs(RequestPtr req) {
     ctx_.net.send(id_, holder, std::move(cb));
   }
   ++stats_.attr_callbacks;
-  attr_waiters_[ino].push_back(std::move(req));
+  auto& gather = attr_waiters_[ino];
+  if (gather.reqs.empty()) gather.since = ctx_.sim.now();
+  gather.reqs.push_back(std::move(req));
   return true;  // the read resumes when every holder has flushed
 }
 
 void MdsNode::resume_attr_waiters(InodeId ino) {
   auto it = attr_waiters_.find(ino);
   if (it == attr_waiters_.end()) return;
-  auto waiters = std::move(it->second);
+  auto waiters = std::move(it->second.reqs);
   attr_waiters_.erase(it);
   for (auto& req : waiters) {
     if (!ctx_.tree.alive(req->target)) {

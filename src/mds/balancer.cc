@@ -63,6 +63,7 @@ double MdsNode::compute_load() {
 }
 
 void MdsNode::heartbeat_tick() {
+  if (failed_) return;  // a dead node is silent; survivors notice
   last_load_ = compute_load();
   peer_loads_[static_cast<std::size_t>(id_)] = last_load_;
   for (MdsId peer = 0; peer < ctx_.num_mds; ++peer) {
@@ -73,13 +74,25 @@ void MdsNode::heartbeat_tick() {
     ctx_.net.send(id_, peer, std::move(msg));
   }
   maybe_unreplicate();
+  failure_tick(ctx_.sim.now());
   maybe_rebalance();
 }
 
 void MdsNode::handle_heartbeat(const HeartbeatMsg& m) {
-  if (m.sender >= 0 && static_cast<std::size_t>(m.sender) < peer_loads_.size()) {
-    peer_loads_[static_cast<std::size_t>(m.sender)] = m.load;
+  if (m.sender < 0 || static_cast<std::size_t>(m.sender) >= peer_loads_.size())
+    return;
+  const auto idx = static_cast<std::size_t>(m.sender);
+  peer_last_hb_[idx] = ctx_.sim.now();
+  if (peer_alive_[idx] == 0) {
+    // First heartbeat after an outage (or a false detection): the peer is
+    // back — restore it as a migration and forwarding target.
+    peer_alive_[idx] = 1;
+    mark_peer_up(m.sender);
+    if (ctx_.faults != nullptr) {
+      ctx_.faults->note_marked_up(m.sender, ctx_.sim.now());
+    }
   }
+  peer_loads_[idx] = m.load;
 }
 
 void MdsNode::bump_subtree_load(const FsNode* node) {
@@ -103,9 +116,18 @@ void MdsNode::maybe_rebalance() {
   const SimTime now = ctx_.sim.now();
   if (now - last_migration_ < ctx_.params.migration_cooldown) return;
 
+  // Mean over the nodes believed alive: a dead peer's sentinel load must
+  // not freeze the balancer for the whole outage.
   double mean = 0.0;
-  for (double l : peer_loads_) mean += l;
-  mean /= static_cast<double>(peer_loads_.size());
+  std::size_t alive = 0;
+  for (MdsId peer = 0; peer < ctx_.num_mds; ++peer) {
+    if (peer != id_ && peer_alive_[static_cast<std::size_t>(peer)] == 0)
+      continue;
+    mean += peer_loads_[static_cast<std::size_t>(peer)];
+    ++alive;
+  }
+  if (alive == 0) return;
+  mean /= static_cast<double>(alive);
   if (mean < 1.0) return;  // idle cluster
   if (last_load_ <= ctx_.params.balance_trigger * mean) return;
 
@@ -114,6 +136,7 @@ void MdsNode::maybe_rebalance() {
   double target_load = ctx_.params.balance_target * mean;
   for (MdsId peer = 0; peer < ctx_.num_mds; ++peer) {
     if (peer == id_) continue;
+    if (peer_alive_[static_cast<std::size_t>(peer)] == 0) continue;
     if (peer_loads_[static_cast<std::size_t>(peer)] < target_load) {
       target = peer;
       target_load = peer_loads_[static_cast<std::size_t>(peer)];

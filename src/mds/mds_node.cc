@@ -13,7 +13,9 @@ MdsNode::MdsNode(ClusterContext& ctx, MdsId id)
              /*enforce_tree=*/ctx.traits.path_traversal),
       journal_(ctx.params.journal_capacity,
                [this](InodeId ino) { queue_writeback(ino); }),
-      peer_loads_(static_cast<std::size_t>(ctx.num_mds), 0.0) {
+      peer_loads_(static_cast<std::size_t>(ctx.num_mds), 0.0),
+      peer_alive_(static_cast<std::size_t>(ctx.num_mds), 1),
+      peer_last_hb_(static_cast<std::size_t>(ctx.num_mds), 0) {
   cache_.set_evict_callback(
       [this](const CacheEntry& e) { on_cache_evict(e); });
 }
@@ -126,6 +128,9 @@ void MdsNode::on_message(NetAddr from, MessagePtr msg) {
       break;
     case MsgType::kMigrateCommit:
       handle_migrate_commit(from, static_cast<MigrateCommitMsg&>(*msg));
+      break;
+    case MsgType::kMigrateAbort:
+      handle_migrate_abort(static_cast<MigrateAbortMsg&>(*msg));
       break;
     case MsgType::kLazyHybridUpdate:
       handle_lh_update(static_cast<LazyHybridUpdateMsg&>(*msg));
@@ -621,7 +626,7 @@ void MdsNode::warm_from_journal(const std::vector<InodeId>& working_set) {
         cache_insert_anchored(n, InsertKind::kDemand, /*authoritative=*/true);
         ++installed;
       }
-      stats_.items_migrated_in += installed;
+      stats_.takeover_warm_items += installed;
     });
   });
 }
@@ -648,6 +653,9 @@ void MdsNode::clear_cache_for_rejoin() {
   frozen_.clear();
   deferred_.clear();
   outbound_.reset();
+  inbound_.reset();
+  replica_fetch_deadline_.clear();
+  attr_waiters_.clear();
   cache_.clear_fetch_waiters();
 }
 

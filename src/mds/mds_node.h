@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "cache/metadata_cache.h"
+#include "common/fault_log.h"
 #include "common/stats.h"
 #include "common/types.h"
 #include "fstree/tree.h"
@@ -61,6 +62,7 @@ struct ClusterContext {
   StrategyTraits traits;
   MdsParams params;
   int num_mds = 0;
+  FaultLog* faults = nullptr;  // failure-lifecycle incident log
   std::vector<MdsNode*> nodes;  // index = MdsId = NetAddr
 };
 
@@ -77,6 +79,15 @@ struct MdsStats {
   std::uint64_t migrations_in = 0;
   std::uint64_t items_migrated_out = 0;
   std::uint64_t items_migrated_in = 0;
+  std::uint64_t migrations_aborted = 0;     // exporter gave up pre-commit
+  std::uint64_t migrations_rolled_back = 0; // importer discarded install
+  std::uint64_t migration_timeouts = 0;     // watchdog firings
+  std::uint64_t peer_down_detections = 0;   // heartbeat-miss declarations
+  std::uint64_t takeovers = 0;              // failed peers absorbed
+  std::uint64_t takeover_warm_items = 0;    // items installed via 4.6 replay
+  std::uint64_t restart_replayed_items = 0; // own-journal items on rejoin
+  std::uint64_t replica_fetch_timeouts = 0; // grants that never came
+  std::uint64_t attr_gather_timeouts = 0;   // reads resumed without deltas
   std::uint64_t lh_traversal_fixups = 0;
   std::uint64_t attr_local_updates = 0;   // setattrs absorbed at replicas
   std::uint64_t attr_flushes_applied = 0; // delta batches applied as auth
@@ -138,14 +149,23 @@ class MdsNode final : public NetEndpoint {
     const EntryAux* a = cache_.aux_peek(dir);
     return (a != nullptr && a->has_dir_temp) ? a->dir_op_temp.get(now) : 0.0;
   }
-  // ---- failure injection / takeover (mds_node.cc) -------------------------
+  // ---- failure lifecycle (mds_node.cc, recovery.cc) -----------------------
   /// Mark the node failed (it is also taken off the network by the
-  /// cluster). While failed, incoming messages are dropped.
+  /// cluster). While failed, incoming messages are dropped and the
+  /// heartbeat is silent — survivors detect the crash from the silence.
   void set_failed(bool failed) { failed_ = failed; }
   bool failed() const { return failed_; }
   /// Survivors stop considering a downed peer as a migration target.
   void mark_peer_down(MdsId peer);
   void mark_peer_up(MdsId peer);
+  /// Restart after a crash (recovery.cc): reset liveness views and stale
+  /// protocol state, then replay the bounded journal against the object
+  /// store (sequential log read + coalesced writebacks, real disk
+  /// latency) and warm the cache with whatever this node still owns.
+  /// Serving resumes immediately; `recovering()` is true until the
+  /// replay completes.
+  void restart();
+  bool recovering() const { return recovering_; }
   /// Takeover warm-up (paper section 4.6): replay the failed node's
   /// bounded journal from shared storage and preload this cache with its
   /// working set. One sequential log read plus per-item install cost.
@@ -153,6 +173,15 @@ class MdsNode final : public NetEndpoint {
   /// Drop all cache state except the pinned root (cold rejoin after an
   /// outage; the node missed invalidations while it was down).
   void clear_cache_for_rejoin();
+  /// Liveness view (tests): does this node currently believe `peer` is up?
+  bool peer_alive(MdsId peer) const {
+    return peer >= 0 && static_cast<std::size_t>(peer) < peer_alive_.size() &&
+           peer_alive_[static_cast<std::size_t>(peer)] != 0;
+  }
+  /// A double-commit transaction is in flight (tests).
+  bool migrating() const {
+    return outbound_ != nullptr || inbound_ != nullptr;
+  }
 
   /// In-flight fetch diagnostics (tests).
   std::size_t pending_disk_fetches() const {
@@ -256,6 +285,28 @@ class MdsNode final : public NetEndpoint {
   void handle_migrate_prepare(NetAddr from, const MigratePrepareMsg& m);
   void handle_migrate_ack(NetAddr from, const MigrateAckMsg& m);
   void handle_migrate_commit(NetAddr from, const MigrateCommitMsg& m);
+  void handle_migrate_abort(const MigrateAbortMsg& m);
+  /// Exporter gives up on an unacked migration: unfreeze, drain deferred
+  /// requests, tell the importer to roll back. Safe because the partition
+  /// map has not flipped — this node never stopped being the authority.
+  void abort_outbound_migration();
+  /// Importer resolves a migration whose commit never arrived by
+  /// consulting the shared partition map: if the map says this node, the
+  /// exporter passed the commit point before dying — finalize; otherwise
+  /// roll back the installed state.
+  void resolve_inbound_migration();
+
+  // ---- failure detection & recovery (recovery.cc) ---------------------------
+  /// Heartbeat-piggybacked watchdog sweep: peer liveness, migration
+  /// deadlines, wedged replica fetches, stale attr gathers. Costs nothing
+  /// while everything is healthy (all checks are reads that find nothing).
+  void failure_tick(SimTime now);
+  void check_peer_liveness(SimTime now);
+  void on_peer_detected_down(MdsId peer);
+  /// Redistribute a dead peer's delegations to the survivors and (warm
+  /// takeover) replay its journal into the heirs. Run by the lowest live
+  /// id; a no-op if another coordinator already handled it.
+  void take_over_failed_peer(MdsId dead);
 
   // ---- traffic control (traffic_control.cc) ---------------------------------
   void note_popularity(RequestPtr req);
@@ -313,28 +364,58 @@ class MdsNode final : public NetEndpoint {
   std::unordered_map<InodeId, SimTime> imported_;  // root ino -> import time
   std::unordered_map<InodeId, DecayCounter> subtree_load_;
 
-  // Migration state.
+  // Migration state. Both sides carry a deadline checked on the heartbeat
+  // (no per-migration timer events, so healthy runs are untouched).
   struct OutboundMigration {
     std::uint64_t id;
     InodeId root;
     MdsId target;
     std::vector<InodeId> items;
+    SimTime deadline = 0;
+  };
+  /// Importer-side record of an unfinished double-commit: kept from the
+  /// prepare until the commit (or abort / timeout resolution), so a dead
+  /// exporter can never strand half-installed authoritative state.
+  struct InboundMigration {
+    std::uint64_t id;
+    MdsId exporter;
+    InodeId root;
+    std::vector<InodeId> items;
+    SimTime deadline = 0;
   };
   std::unordered_set<InodeId> frozen_;
   std::deque<RequestPtr> deferred_;
   std::unique_ptr<OutboundMigration> outbound_;
+  std::unique_ptr<InboundMigration> inbound_;
   std::uint64_t next_migration_id_ = 1;
   std::uint64_t next_xid_ = 1;
   double lh_drain_carry_ = 0.0;  // fractional drain budget between ticks
 
   bool failed_ = false;
+  bool recovering_ = false;
+
+  // Peer liveness, derived from heartbeat arrivals (survivors detect a
+  // dead peer from silence; the first heartbeat heard marks it back up).
+  std::vector<std::uint8_t> peer_alive_;
+  std::vector<SimTime> peer_last_hb_;
+
+  // Replica fetches with a grant outstanding: ino -> give-up deadline.
+  // Swept on the heartbeat; entries are erased when the grant arrives.
+  std::unordered_map<InodeId, SimTime> replica_fetch_deadline_;
 
   // Distributed attribute updates (section 4.2). Pending delta counts
   // (replica side) and dirty-holder sets (authority side) live in the
   // EntryAux sidecar; only the parked requests stay here (they hold a
   // private RequestPtr type).
   bool attr_flush_scheduled_ = false;
-  std::unordered_map<InodeId, std::vector<RequestPtr>> attr_waiters_;
+  /// Reads parked while deltas are called in, stamped so the heartbeat
+  /// sweep can resume them if a flush is lost (the scheme tolerates
+  /// monotone-stale attributes by design).
+  struct AttrGather {
+    SimTime since = 0;
+    std::vector<RequestPtr> reqs;
+  };
+  std::unordered_map<InodeId, AttrGather> attr_waiters_;
 
   // Coalesced tier-2 writebacks: expired journal entries grouped by their
   // containing directory (shared B+tree nodes make one object write per

@@ -28,6 +28,7 @@ struct LocationHint {
 
 struct ClientRequestMsg final : Message {
   ClientRequestMsg() : Message(MsgType::kClientRequest, 96) {}
+  MessagePtr clone() const override { return std::make_unique<ClientRequestMsg>(*this); }
 
   std::uint64_t req_id = 0;
   ClientId client = kInvalidClient;
@@ -48,6 +49,7 @@ struct ClientRequestMsg final : Message {
 
 struct ClientReplyMsg final : Message {
   ClientReplyMsg() : Message(MsgType::kClientReply, 128) {}
+  MessagePtr clone() const override { return std::make_unique<ClientReplyMsg>(*this); }
 
   std::uint64_t req_id = 0;
   bool success = false;
@@ -62,18 +64,21 @@ struct ClientReplyMsg final : Message {
 /// MDS-to-MDS: carry a client request to the authoritative node.
 struct ForwardMsg final : Message {
   ForwardMsg() : Message(MsgType::kForwardedRequest, 112) {}
+  MessagePtr clone() const override { return std::make_unique<ForwardMsg>(*this); }
   ClientRequestMsg inner;
 };
 
 /// Ask the authority for a (prefix) inode replica.
 struct ReplicaRequestMsg final : Message {
   ReplicaRequestMsg() : Message(MsgType::kReplicaRequest, 48) {}
+  MessagePtr clone() const override { return std::make_unique<ReplicaRequestMsg>(*this); }
   InodeId ino = kInvalidInode;
   std::uint64_t xid = 0;  // matches request to grant at the requester
 };
 
 struct ReplicaGrantMsg final : Message {
   ReplicaGrantMsg() : Message(MsgType::kReplicaGrant, 96) {}
+  MessagePtr clone() const override { return std::make_unique<ReplicaGrantMsg>(*this); }
   InodeId ino = kInvalidInode;
   std::uint64_t xid = 0;   // 0 for unsolicited (traffic-control) grants
   bool unsolicited = false;
@@ -84,12 +89,14 @@ struct ReplicaGrantMsg final : Message {
 /// authority from sending further invalidations.
 struct ReplicaDropMsg final : Message {
   ReplicaDropMsg() : Message(MsgType::kReplicaDrop, 32) {}
+  MessagePtr clone() const override { return std::make_unique<ReplicaDropMsg>(*this); }
   InodeId ino = kInvalidInode;
 };
 
 /// Authority tells replica holders an item changed (or vanished).
 struct CacheInvalidateMsg final : Message {
   CacheInvalidateMsg() : Message(MsgType::kCacheInvalidate, 48) {}
+  MessagePtr clone() const override { return std::make_unique<CacheInvalidateMsg>(*this); }
   InodeId ino = kInvalidInode;
   bool removed = false;  // unlink/rmdir vs attribute update
   /// Rename of a directory: receivers must drop every cached descendant
@@ -101,6 +108,7 @@ struct CacheInvalidateMsg final : Message {
 /// Periodic load exchange for the balancer (paper section 4.3).
 struct HeartbeatMsg final : Message {
   HeartbeatMsg() : Message(MsgType::kHeartbeat, 40) {}
+  MessagePtr clone() const override { return std::make_unique<HeartbeatMsg>(*this); }
   MdsId sender = kInvalidMds;
   double load = 0.0;
 };
@@ -109,6 +117,7 @@ struct HeartbeatMsg final : Message {
 /// the full active state; the importer acks; the exporter commits.
 struct MigratePrepareMsg final : Message {
   MigratePrepareMsg() : Message(MsgType::kMigratePrepare, 256) {}
+  MessagePtr clone() const override { return std::make_unique<MigratePrepareMsg>(*this); }
   std::uint64_t migration_id = 0;
   InodeId subtree_root = kInvalidInode;
   /// Cached items transferred (ids; resolved at the importer). Ordered
@@ -119,20 +128,32 @@ struct MigratePrepareMsg final : Message {
 
 struct MigrateAckMsg final : Message {
   MigrateAckMsg() : Message(MsgType::kMigrateAck, 32) {}
+  MessagePtr clone() const override { return std::make_unique<MigrateAckMsg>(*this); }
   std::uint64_t migration_id = 0;
   bool accepted = true;
 };
 
 struct MigrateCommitMsg final : Message {
   MigrateCommitMsg() : Message(MsgType::kMigrateCommit, 32) {}
+  MessagePtr clone() const override { return std::make_unique<MigrateCommitMsg>(*this); }
   std::uint64_t migration_id = 0;
   InodeId subtree_root = kInvalidInode;
+};
+
+/// Exporter cancels a migration whose ack never arrived (timeout, or the
+/// importer was detected down). The importer rolls back any installed
+/// state; the partition map never flipped, so the exporter keeps serving.
+struct MigrateAbortMsg final : Message {
+  MigrateAbortMsg() : Message(MsgType::kMigrateAbort, 32) {}
+  MessagePtr clone() const override { return std::make_unique<MigrateAbortMsg>(*this); }
+  std::uint64_t migration_id = 0;
 };
 
 /// Lazy Hybrid background update: refresh one file's dual-entry ACL /
 /// placement (one network trip per affected file, section 3.1.3).
 struct LazyHybridUpdateMsg final : Message {
   LazyHybridUpdateMsg() : Message(MsgType::kLazyHybridUpdate, 48) {}
+  MessagePtr clone() const override { return std::make_unique<LazyHybridUpdateMsg>(*this); }
   InodeId ino = kInvalidInode;
 };
 
@@ -141,17 +162,20 @@ struct LazyHybridUpdateMsg final : Message {
 /// the authority periodically; reads at the authority call the deltas in.
 struct AttrDirtyMsg final : Message {
   AttrDirtyMsg() : Message(MsgType::kAttrDirty, 32) {}
+  MessagePtr clone() const override { return std::make_unique<AttrDirtyMsg>(*this); }
   InodeId ino = kInvalidInode;
 };
 
 struct AttrFlushMsg final : Message {
   AttrFlushMsg() : Message(MsgType::kAttrFlush, 48) {}
+  MessagePtr clone() const override { return std::make_unique<AttrFlushMsg>(*this); }
   InodeId ino = kInvalidInode;
   std::uint32_t updates = 0;  // absorbed local writes being shipped
 };
 
 struct AttrCallbackMsg final : Message {
   AttrCallbackMsg() : Message(MsgType::kAttrCallback, 32) {}
+  MessagePtr clone() const override { return std::make_unique<AttrCallbackMsg>(*this); }
   InodeId ino = kInvalidInode;
 };
 
@@ -159,6 +183,7 @@ struct AttrCallbackMsg final : Message {
 /// consolidated back (paper section 4.3).
 struct DirFragNotifyMsg final : Message {
   DirFragNotifyMsg() : Message(MsgType::kDirFragNotify, 40) {}
+  MessagePtr clone() const override { return std::make_unique<DirFragNotifyMsg>(*this); }
   InodeId dir = kInvalidInode;
   bool fragmented = true;
 };

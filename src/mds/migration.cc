@@ -5,11 +5,23 @@
 // transferred to the newly authoritative node ... to avoid the disk I/O
 // that would otherwise be required."
 //
-// Protocol: exporter freezes the subtree (requests defer), sends Prepare
-// with the cached item set; the importer installs the state (anchoring the
+// Protocol: exporter journals its intent and freezes the subtree
+// (requests defer), sends Prepare with the cached item set; the importer
+// records the inbound transaction, installs the state (anchoring the
 // subtree root's prefix inodes first) and Acks; the exporter flips the
-// partition map (commit point), drops its copies, flushes deferred
-// requests, and Commits to the importer.
+// partition map (THE commit point), journals completion, drops its
+// copies, flushes deferred requests, and Commits to the importer.
+//
+// Crash consistency: either side dying at any step leaves exactly one
+// authority. Before the partition flip the exporter never stopped being
+// the authority — an exporter timeout/death aborts and the importer rolls
+// its installed copy back. After the flip the importer owns the subtree
+// whether or not the Commit arrives — an importer that stops hearing from
+// the exporter consults the shared partition map (the cluster's ground
+// truth, per the paper's "all metadata servers converge on the partition")
+// and either finalizes or rolls back accordingly. Deadlines are swept by
+// the heartbeat tick (failure_tick), so no timer events exist in healthy
+// runs.
 #include <algorithm>
 #include <cassert>
 
@@ -56,6 +68,7 @@ void MdsNode::begin_migration(FsNode* root, MdsId target) {
   outbound_->id = next_migration_id_++;
   outbound_->root = root->ino();
   outbound_->target = target;
+  outbound_->deadline = ctx_.sim.now() + ctx_.params.migration_timeout;
   outbound_->items.reserve(collected.size());
   for (CacheEntry* e : collected) outbound_->items.push_back(e->node->ino());
 
@@ -68,29 +81,70 @@ void MdsNode::begin_migration(FsNode* root, MdsId target) {
   msg->size_bytes =
       static_cast<std::uint32_t>(64 + 48 * outbound_->items.size());
 
-  const SimTime pack_cost =
-      ctx_.params.cpu_migrate_per_item * outbound_->items.size();
-  charge_cpu(pack_cost, [this, target, m = std::move(msg)]() mutable {
-    ctx_.net.send(id_, target, std::move(m));
+  // Journal the migration intent before anything leaves this node, so a
+  // restart replays a record of the half-open transaction (the bounded
+  // log is on shared storage; survivors resolve against the partition
+  // map, which only flips at the commit point below).
+  const std::uint64_t mig_id = outbound_->id;
+  journal_.append(outbound_->root);
+  const MdsId target_copy = target;
+  disk_.journal_append([this, mig_id, target_copy, m = std::move(msg)]() mutable {
+    if (outbound_ == nullptr || outbound_->id != mig_id) return;  // aborted
+    const SimTime pack_cost =
+        ctx_.params.cpu_migrate_per_item * outbound_->items.size();
+    charge_cpu(pack_cost, [this, mig_id, target_copy, m = std::move(m)]() mutable {
+      if (outbound_ == nullptr || outbound_->id != mig_id) return;
+      ctx_.net.send(id_, target_copy, std::move(m));
+    });
   });
 }
 
 void MdsNode::handle_migrate_prepare(NetAddr from, const MigratePrepareMsg& m) {
   const MdsId exporter = from;
   const std::uint64_t mig_id = m.migration_id;
+
+  auto send_ack = [this, exporter, mig_id](bool accepted) {
+    auto ack = std::make_unique<MigrateAckMsg>();
+    ack->migration_id = mig_id;
+    ack->accepted = accepted;
+    ctx_.net.send(id_, exporter, std::move(ack));
+  };
+
+  if (inbound_ != nullptr) {
+    if (inbound_->id == mig_id && inbound_->exporter == exporter) {
+      return;  // duplicate prepare (network duplication); already installing
+    }
+    send_ack(false);  // one inbound transaction at a time
+    return;
+  }
+
+  // Record the transaction before the (time-consuming) unpack, so a
+  // watchdog or exporter-death during install resolves it instead of
+  // leaking half the state.
+  inbound_ = std::make_unique<InboundMigration>();
+  inbound_->id = mig_id;
+  inbound_->exporter = exporter;
+  inbound_->root = m.subtree_root;
+  inbound_->items = m.items;
+  inbound_->deadline = ctx_.sim.now() + ctx_.params.migration_timeout;
+
   auto items = std::make_shared<std::vector<InodeId>>(m.items);
   const InodeId root_ino = m.subtree_root;
 
   const SimTime unpack_cost = ctx_.params.cpu_migrate_per_item * items->size();
-  charge_cpu(unpack_cost, [this, exporter, mig_id, root_ino, items]() {
-    FsNode* root = ctx_.tree.by_ino(root_ino);
-    auto send_ack = [this, exporter, mig_id](bool accepted) {
+  charge_cpu(unpack_cost, [this, mig_id, root_ino, items]() {
+    if (inbound_ == nullptr || inbound_->id != mig_id) return;  // resolved
+    // Rebuild the ack closure from the inbound record (keeps the CPU
+    // continuation inside InlineTask's inline-capture budget).
+    auto send_ack = [this, exporter = inbound_->exporter, mig_id](bool ok) {
       auto ack = std::make_unique<MigrateAckMsg>();
       ack->migration_id = mig_id;
-      ack->accepted = accepted;
+      ack->accepted = ok;
       ctx_.net.send(id_, exporter, std::move(ack));
     };
+    FsNode* root = ctx_.tree.by_ino(root_ino);
     if (root == nullptr) {
+      inbound_.reset();
       send_ack(false);
       return;
     }
@@ -101,8 +155,10 @@ void MdsNode::handle_migrate_prepare(NetAddr from, const MigratePrepareMsg& m) {
     insert_with_prefixes(
         root, InsertKind::kDemand, /*authoritative=*/true,
         /*have_payload=*/true,
-        [this, items, root_ino, send_ack](CacheEntry* anchor) {
+        [this, mig_id, items, root_ino, send_ack](CacheEntry* anchor) {
+          if (inbound_ == nullptr || inbound_->id != mig_id) return;
           if (anchor == nullptr) {
+            inbound_.reset();
             send_ack(false);
             return;
           }
@@ -144,6 +200,10 @@ void MdsNode::handle_migrate_ack(NetAddr from, const MigrateAckMsg& m) {
   imported_.erase(mig.root);
   subtree_load_.erase(mig.root);
 
+  // Journal the completion (supersedes the intent record in the bounded
+  // log: a restart replays at most one live record for this root).
+  journal_.append(mig.root);
+
   // Drop exported copies (children first) and clean up third-party
   // replica registrations for the items we no longer own.
   std::vector<FsNode*> exported;
@@ -168,18 +228,88 @@ void MdsNode::handle_migrate_ack(NetAddr from, const MigrateAckMsg& m) {
   stats_.items_migrated_out += mig.items.size();
   last_migration_ = ctx_.sim.now();
 
-  auto commit = std::make_unique<MigrateCommitMsg>();
-  commit->migration_id = mig.id;
-  commit->subtree_root = mig.root;
-  ctx_.net.send(id_, mig.target, std::move(commit));
+  // Persist the completion record, then release the importer. The
+  // partition already flipped, so even if this node dies before the
+  // Commit leaves, the importer's timeout resolution finds itself the
+  // authority and finalizes.
+  const std::uint64_t mig_id = mig.id;
+  const InodeId mig_root = mig.root;
+  const MdsId mig_target = mig.target;
+  disk_.journal_append([this, mig_id, mig_root, mig_target]() {
+    if (failed_) return;
+    auto commit = std::make_unique<MigrateCommitMsg>();
+    commit->migration_id = mig_id;
+    commit->subtree_root = mig_root;
+    ctx_.net.send(id_, mig_target, std::move(commit));
+  });
 
   flush_deferred();
 }
 
 void MdsNode::handle_migrate_commit(NetAddr from, const MigrateCommitMsg& m) {
   (void)from;
-  ++stats_.migrations_in;
-  imported_[m.subtree_root] = ctx_.sim.now();
+  if (inbound_ == nullptr || inbound_->id != m.migration_id) return;
+  resolve_inbound_migration();  // partition flipped -> finalizes
+}
+
+void MdsNode::handle_migrate_abort(const MigrateAbortMsg& m) {
+  if (inbound_ == nullptr || inbound_->id != m.migration_id) return;
+  resolve_inbound_migration();  // partition unflipped -> rolls back
+}
+
+void MdsNode::abort_outbound_migration() {
+  if (outbound_ == nullptr) return;
+  OutboundMigration mig = *outbound_;
+  outbound_.reset();
+  frozen_.erase(mig.root);
+  ++stats_.migrations_aborted;
+
+  // Safe unilaterally: the partition map never flipped, so this node never
+  // stopped being the authority. Tell the importer to discard whatever it
+  // installed (best effort — its own watchdog covers a lost abort).
+  auto abort_msg = std::make_unique<MigrateAbortMsg>();
+  abort_msg->migration_id = mig.id;
+  ctx_.net.send(id_, mig.target, std::move(abort_msg));
+
+  flush_deferred();
+}
+
+void MdsNode::resolve_inbound_migration() {
+  if (inbound_ == nullptr) return;
+  auto in = std::move(inbound_);
+
+  // The shared partition map is the transaction's ground truth: the
+  // exporter flips it at the commit point and nowhere else.
+  FsNode* root = ctx_.tree.by_ino(in->root);
+  const bool committed =
+      root != nullptr && ctx_.partition.authority_of(root) == id_;
+
+  if (committed) {
+    ++stats_.migrations_in;
+    imported_[in->root] = ctx_.sim.now();
+    return;
+  }
+
+  // Roll back: discard the installed copies, children first, skipping
+  // anything that meanwhile became load-bearing (pinned by an in-flight
+  // request or anchoring cached children from another code path).
+  std::vector<FsNode*> installed;
+  installed.reserve(in->items.size());
+  for (InodeId ino : in->items) {
+    FsNode* n = ctx_.tree.by_ino(ino);
+    if (n != nullptr) installed.push_back(n);
+  }
+  std::sort(installed.begin(), installed.end(),
+            [](const FsNode* a, const FsNode* b) {
+              return a->depth() > b->depth();
+            });
+  for (FsNode* n : installed) {
+    CacheEntry* e = cache_.peek(n->ino());
+    if (e == nullptr) continue;
+    if (e->cached_children > 0 || e->pins > 0) continue;
+    cache_.erase(n->ino());
+  }
+  ++stats_.migrations_rolled_back;
 }
 
 }  // namespace mdsim

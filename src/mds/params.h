@@ -66,6 +66,29 @@ struct MdsParams {
   /// re-exported (stops hot subtrees ping-ponging around the cluster).
   SimTime min_subtree_residency = 8 * kSecond;
 
+  // --- Failure lifecycle (paper section 4.6) ------------------------------
+  /// Survivors declare a peer dead once no heartbeat has arrived for this
+  /// many heartbeat periods, then the lowest live id redistributes the
+  /// dead node's delegations. Only strategies that run the heartbeat
+  /// (i.e. those that balance load) detect failures.
+  bool failure_detection = true;
+  int heartbeat_miss_threshold = 3;
+  /// Takeover nodes replay the failed node's bounded journal from shared
+  /// storage to preload its working set (vs a cold takeover).
+  bool warm_takeover = true;
+  /// Double-commit watchdog: an exporter with no ack (or an importer with
+  /// no commit) after this long resolves the migration unilaterally —
+  /// abort before the commit point, importer ownership after. Checked on
+  /// the heartbeat, so effective resolution is rounded up to a period.
+  SimTime migration_timeout = 3 * kSecond;
+  /// Replica fetches whose grant never arrives (dropped message, dead
+  /// authority) fail their waiters after this long instead of wedging the
+  /// inode's fetch-coalescing slot forever.
+  SimTime replica_fetch_timeout = 2 * kSecond;
+  /// Attribute gathers park reads while calling deltas in from dirty
+  /// holders; if a flush is lost the read resumes with what it has.
+  SimTime attr_gather_timeout = 2 * kSecond;
+
   // --- Traffic control (dynamic subtree only) ----------------------------
   bool traffic_control_enabled = true;
   /// Popularity (decayed requests/interval) above which an item/subtree is

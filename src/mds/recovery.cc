@@ -1,0 +1,231 @@
+// Failure detection, takeover and restart (paper section 4.6).
+//
+// Detection is distributed: every node watches the balancer heartbeats of
+// its peers and declares one dead after `heartbeat_miss_threshold` silent
+// periods. The lowest live id then acts as takeover coordinator: it
+// redistributes the dead node's delegations round-robin over the
+// survivors and (warm takeover) has each heir replay the dead node's
+// bounded journal from shared storage — the paper's "journal [as] a very
+// recent or current picture of the failed node's working metadata set".
+// A false positive (flaky link, not a dead peer) degenerates into a
+// forced re-delegation: the partition map stays consistent, the "dead"
+// node simply starts forwarding, and the first heartbeat heard marks it
+// back up.
+//
+// Restart replays the node's own journal against the object store —
+// one sequential log read, coalesced tier-2 writebacks, then a CPU-paced
+// cache warm-up with whatever the takeover left it — and the balancer
+// repopulates it with load as its heartbeats resume.
+//
+// All watchdogs (liveness, migration deadlines, wedged replica fetches,
+// stale attr gathers) piggyback on the heartbeat tick: no timer events
+// are scheduled in healthy runs, so the fault machinery is inert — and
+// the simulation byte-identical — until something actually fails.
+#include <algorithm>
+#include <cassert>
+
+#include "mds/mds_node.h"
+
+namespace mdsim {
+
+void MdsNode::failure_tick(SimTime now) {
+  if (ctx_.params.failure_detection) check_peer_liveness(now);
+
+  // Double-commit watchdogs (migration.cc has the resolution logic).
+  if (outbound_ != nullptr && now >= outbound_->deadline) {
+    ++stats_.migration_timeouts;
+    abort_outbound_migration();
+  }
+  if (inbound_ != nullptr && now >= inbound_->deadline) {
+    ++stats_.migration_timeouts;
+    resolve_inbound_migration();
+  }
+
+  // Replica fetches whose grant never arrived: fail the waiters so the
+  // inode's coalescing slot unwedges (clients retry; the next fetch
+  // starts clean).
+  if (!replica_fetch_deadline_.empty()) {
+    std::vector<InodeId> expired;
+    for (const auto& [ino, deadline] : replica_fetch_deadline_) {
+      if (now >= deadline) expired.push_back(ino);
+    }
+    for (InodeId ino : expired) {
+      replica_fetch_deadline_.erase(ino);
+      ++stats_.replica_fetch_timeouts;
+      auto waiters = cache_.take_fetch_waiters(ino, FetchChannel::kReplica);
+      for (auto& w : waiters) w(nullptr);
+    }
+  }
+
+  // Attr gathers whose flush was lost: resume the parked reads with the
+  // attributes at hand (monotone-stale is tolerated by the scheme).
+  if (!attr_waiters_.empty()) {
+    std::vector<InodeId> stale;
+    for (const auto& [ino, gather] : attr_waiters_) {
+      if (now - gather.since >= ctx_.params.attr_gather_timeout) {
+        stale.push_back(ino);
+      }
+    }
+    for (InodeId ino : stale) {
+      ++stats_.attr_gather_timeouts;
+      resume_attr_waiters(ino);
+    }
+  }
+}
+
+void MdsNode::check_peer_liveness(SimTime now) {
+  const SimTime horizon =
+      static_cast<SimTime>(ctx_.params.heartbeat_miss_threshold) *
+      ctx_.params.heartbeat_period;
+  for (MdsId peer = 0; peer < ctx_.num_mds; ++peer) {
+    if (peer == id_) continue;
+    const auto idx = static_cast<std::size_t>(peer);
+    if (peer_alive_[idx] == 0) continue;
+    // peer_last_hb_ starts at 0; the horizon exceeds the first heartbeat's
+    // arrival time, so a healthy bootstrap never trips this.
+    if (now - peer_last_hb_[idx] > horizon) on_peer_detected_down(peer);
+  }
+}
+
+void MdsNode::on_peer_detected_down(MdsId peer) {
+  const SimTime now = ctx_.sim.now();
+  peer_alive_[static_cast<std::size_t>(peer)] = 0;
+  mark_peer_down(peer);
+  ++stats_.peer_down_detections;
+  if (ctx_.faults != nullptr) ctx_.faults->note_detection(peer, id_, now);
+
+  // A migration in flight with the dead peer resolves unilaterally.
+  if (outbound_ != nullptr && outbound_->target == peer) {
+    abort_outbound_migration();
+  }
+  if (inbound_ != nullptr && inbound_->exporter == peer) {
+    resolve_inbound_migration();
+  }
+
+  // The lowest id that believes itself alive coordinates the takeover.
+  // Sweeping every dead peer (not just this one) covers a coordinator
+  // that died before acting: the next-lowest survivor redoes the sweep,
+  // and already-redistributed peers are skipped inside.
+  MdsId coordinator = id_;
+  for (MdsId i = 0; i < ctx_.num_mds; ++i) {
+    if (i != id_ && peer_alive_[static_cast<std::size_t>(i)] == 0) continue;
+    coordinator = i;
+    break;
+  }
+  if (coordinator != id_) return;
+  for (MdsId dead = 0; dead < ctx_.num_mds; ++dead) {
+    if (dead == id_ || peer_alive_[static_cast<std::size_t>(dead)] != 0)
+      continue;
+    take_over_failed_peer(dead);
+  }
+}
+
+void MdsNode::take_over_failed_peer(MdsId dead) {
+  auto* subtree = dynamic_cast<SubtreePartition*>(&ctx_.partition);
+  if (subtree == nullptr) return;  // hashed placements re-map, out of scope
+
+  std::vector<MdsId> survivors;
+  for (MdsId i = 0; i < ctx_.num_mds; ++i) {
+    if (i == dead) continue;
+    if (i != id_ && peer_alive_[static_cast<std::size_t>(i)] == 0) continue;
+    survivors.push_back(i);
+  }
+  if (survivors.empty()) return;
+
+  const auto delegations = subtree->delegations_of(dead);
+  const bool owns_root = subtree->authority_of(ctx_.tree.root()) == dead;
+  if (delegations.empty() && !owns_root) return;  // already taken over
+
+  std::vector<MdsId> heirs;
+  std::size_t rr = 0;
+  for (const FsNode* root : delegations) {
+    const MdsId heir = survivors[rr++ % survivors.size()];
+    subtree->delegate(root, heir);
+    heirs.push_back(heir);
+  }
+  if (owns_root) {
+    subtree->delegate(ctx_.tree.root(), survivors.front());
+    heirs.push_back(survivors.front());
+  }
+  if (heirs.empty()) heirs.push_back(survivors.front());
+
+  ++stats_.takeovers;
+  if (ctx_.faults != nullptr) {
+    ctx_.faults->note_takeover(dead, ctx_.sim.now());
+  }
+
+  if (ctx_.params.warm_takeover) {
+    // The dead node's journal lives on shared storage (section 4.6):
+    // every heir replays it and installs the items it now owns.
+    std::sort(heirs.begin(), heirs.end());
+    heirs.erase(std::unique(heirs.begin(), heirs.end()), heirs.end());
+    const auto working_set =
+        ctx_.nodes[static_cast<std::size_t>(dead)]->journal().replay();
+    for (MdsId heir : heirs) {
+      ctx_.nodes[static_cast<std::size_t>(heir)]->warm_from_journal(
+          working_set);
+    }
+  }
+}
+
+void MdsNode::restart() {
+  assert(!failed_);
+  recovering_ = true;
+
+  // Everything from before the crash is void: cache contents (missed
+  // invalidations), migration state (resolved by peers or by the shared
+  // partition map), fetch waiters, parked reads (their clients timed out
+  // and retried long ago).
+  clear_cache_for_rejoin();
+
+  // Fresh liveness view — the node heard nothing while it was down, so it
+  // must not declare the whole cluster dead at its first tick.
+  const SimTime now = ctx_.sim.now();
+  std::fill(peer_alive_.begin(), peer_alive_.end(), 1);
+  std::fill(peer_last_hb_.begin(), peer_last_hb_.end(), now);
+  std::fill(peer_loads_.begin(), peer_loads_.end(), 0.0);
+  bal_prev_time_ = now;
+  bal_prev_replies_ = stats_.replies_sent;
+  bal_prev_misses_ = cache_.stats().misses;
+  bal_prev_cpu_busy_ = cpu_.busy_time();
+  bal_prev_disk_busy_ = disk_.store_busy_time();
+
+  // Replay the bounded journal against the object store: one sequential
+  // read of the log region, a coalesced tier-2 write per dirty directory
+  // (shared B+tree nodes, as in the normal writeback path), then a
+  // CPU-paced warm install of whatever this node still owns after the
+  // takeover redistributed its delegations.
+  auto items = std::make_shared<std::vector<InodeId>>(journal_.replay());
+  const std::uint32_t log_nodes =
+      1 + static_cast<std::uint32_t>(items->size() / 16);
+  disk_.read_object(log_nodes, [this, items]() {
+    std::unordered_map<InodeId, std::uint32_t> dirty;
+    for (InodeId ino : *items) {
+      FsNode* n = ctx_.tree.by_ino(ino);
+      InodeId dir = kInvalidInode;
+      if (n != nullptr && n->parent() != nullptr) dir = n->parent()->ino();
+      ++dirty[dir];
+    }
+    for (const auto& [dir, count] : dirty) {
+      disk_.write_object(1 + count / 16, []() {});
+    }
+    const SimTime cpu = ctx_.params.cpu_migrate_per_item * items->size();
+    charge_cpu(cpu, [this, items]() {
+      std::uint64_t installed = 0;
+      for (InodeId ino : *items) {
+        FsNode* n = ctx_.tree.by_ino(ino);
+        if (n == nullptr) continue;
+        if (authority_for(n) != id_) continue;  // redistributed away
+        cache_insert_anchored(n, InsertKind::kDemand, /*authoritative=*/true);
+        ++installed;
+      }
+      stats_.restart_replayed_items += installed;
+      recovering_ = false;
+      if (ctx_.faults != nullptr) {
+        ctx_.faults->note_rejoin(id_, ctx_.sim.now());
+      }
+    });
+  });
+}
+
+}  // namespace mdsim

@@ -147,6 +147,12 @@ void MdsNode::fetch_replica(FsNode* node, MdsId auth, InsertKind kind,
       cache_.add_fetch_waiter(ino, FetchChannel::kReplica, std::move(done));
   if (!first) return;  // coalesced with an in-flight request
 
+  // Heartbeat-swept give-up deadline: if the grant is lost (dropped
+  // message, authority died) the waiters fail instead of coalescing
+  // behind a request that will never complete.
+  replica_fetch_deadline_[ino] =
+      ctx_.sim.now() + ctx_.params.replica_fetch_timeout;
+
   ++stats_.replica_requests_sent;
   auto msg = std::make_unique<ReplicaRequestMsg>();
   msg->ino = ino;
@@ -204,6 +210,7 @@ void MdsNode::handle_replica_grant(NetAddr from, const ReplicaGrantMsg& m) {
     return;
   }
 
+  replica_fetch_deadline_.erase(ino);
   auto waiters = cache_.take_fetch_waiters(ino, FetchChannel::kReplica);
   if (waiters.empty()) return;  // raced with invalidation
 

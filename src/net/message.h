@@ -37,6 +37,7 @@ enum class MsgType : std::uint8_t {
   kAttrDirty,     // replica tells authority it holds local attr deltas
   kAttrFlush,     // replica ships accumulated deltas to the authority
   kAttrCallback,  // authority demands an immediate flush (client read)
+  kMigrateAbort,  // exporter cancels an unacked migration (timeout)
 };
 
 constexpr const char* msg_name(MsgType t) {
@@ -58,22 +59,30 @@ constexpr const char* msg_name(MsgType t) {
     case MsgType::kAttrDirty: return "attr_dirty";
     case MsgType::kAttrFlush: return "attr_flush";
     case MsgType::kAttrCallback: return "attr_callback";
+    case MsgType::kMigrateAbort: return "migrate_abort";
   }
   return "?";
 }
 
-constexpr int kNumMsgTypes = 17;
+constexpr int kNumMsgTypes = 18;
+
+struct Message;
+using MessagePtr = std::unique_ptr<Message>;
 
 struct Message {
   explicit Message(MsgType t, std::uint32_t bytes = 64)
       : type(t), size_bytes(bytes) {}
   virtual ~Message() = default;
 
+  /// Deep copy, used by the network's duplication injection: the second
+  /// delivery must carry the full payload, so every concrete message type
+  /// overrides this. The base implementation covers untyped (test-only)
+  /// messages.
+  virtual MessagePtr clone() const { return std::make_unique<Message>(*this); }
+
   MsgType type;
   std::uint32_t size_bytes;
 };
-
-using MessagePtr = std::unique_ptr<Message>;
 
 /// Anything that can receive messages from the network.
 class NetEndpoint {

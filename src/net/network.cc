@@ -5,7 +5,24 @@
 namespace mdsim {
 
 Network::Network(Simulation& sim, NetworkParams params)
-    : sim_(sim), params_(params), rng_(params.seed, /*stream=*/0x4e7) {}
+    : sim_(sim),
+      params_(params),
+      rng_(params.seed, /*stream=*/0x4e7),
+      fault_rng_(params.seed, /*stream=*/0xfa017) {}
+
+void Network::set_link_fault(NetAddr a, NetAddr b, const LinkFault& fault) {
+  assert(a != b);
+  link_faults_[link_key(a, b)] = fault;
+}
+
+void Network::clear_link_fault(NetAddr a, NetAddr b) {
+  link_faults_.erase(link_key(a, b));
+}
+
+const LinkFault* Network::link_fault(NetAddr a, NetAddr b) const {
+  auto it = link_faults_.find(link_key(a, b));
+  return it == link_faults_.end() ? nullptr : &it->second;
+}
 
 NetAddr Network::attach(NetEndpoint* endpoint) {
   assert(endpoint != nullptr);
@@ -36,16 +53,41 @@ void Network::send(NetAddr from, NetAddr to, MessagePtr msg) {
     ++dropped_;
     return;
   }
+
+  // Fault injection. The empty() check is the entire healthy-path cost:
+  // no RNG draws, no hash probes, no timing change unless a fault is
+  // actually installed somewhere.
+  bool duplicate = false;
+  SimTime spike = 0;
+  if (!link_faults_.empty() && from != to) {
+    if (const LinkFault* f = link_fault(from, to)) {
+      if (f->drop > 0 && fault_rng_.bernoulli(f->drop)) {
+        ++fault_counters_.dropped;
+        ++dropped_;
+        return;
+      }
+      if (f->duplicate > 0 && fault_rng_.bernoulli(f->duplicate)) {
+        duplicate = true;
+        ++fault_counters_.duplicated;
+      }
+      if (f->spike > 0 && fault_rng_.bernoulli(f->spike)) {
+        spike = f->spike_latency;
+        ++fault_counters_.spiked;
+      }
+    }
+  }
   counts_[static_cast<std::size_t>(msg->type)]++;
 
   SimTime latency = 0;
   if (from != to) {
-    latency = params_.base_latency;
+    latency = params_.base_latency + spike;
     if (params_.jitter_mean > 0) {
       latency += static_cast<SimTime>(
           rng_.exponential(static_cast<double>(params_.jitter_mean)));
     }
     // FIFO per (src,dst): never deliver before a previously sent message.
+    // A spiked message raises the floor, queueing later traffic behind it
+    // (TCP-like head-of-line blocking).
     auto& row = fifo_floor_[static_cast<std::size_t>(from)];
     if (row.size() <= static_cast<std::size_t>(to)) {
       row.resize(static_cast<std::size_t>(to) + 1, 0);
@@ -58,6 +100,16 @@ void Network::send(NetAddr from, NetAddr to, MessagePtr msg) {
   }
 
   NetEndpoint* dst = endpoints_[static_cast<std::size_t>(to)];
+  if (duplicate) {
+    // The copy takes its own path through the fabric, one base latency
+    // behind the original, and deliberately skips the FIFO floor: a
+    // duplicated packet arriving out of order is exactly the hazard
+    // receivers must tolerate.
+    sim_.schedule(latency + params_.base_latency,
+                  [dst, from, m = msg->clone()]() mutable {
+                    dst->on_message(from, std::move(m));
+                  });
+  }
   sim_.schedule(latency, [dst, from, m = std::move(msg)]() mutable {
     dst->on_message(from, std::move(m));
   });

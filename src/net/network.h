@@ -14,6 +14,7 @@
 
 #include <array>
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.h"
@@ -27,6 +28,19 @@ struct NetworkParams {
   SimTime base_latency = from_micros(120);
   SimTime jitter_mean = from_micros(20);
   std::uint64_t seed = 7;
+};
+
+/// Per-link fault injection knobs (chaos harness). Probabilities are per
+/// message; a fault is keyed symmetrically, covering both directions of
+/// the link. Draws come from a dedicated RNG stream, so enabling faults on
+/// one link never perturbs the latency jitter of healthy traffic — and
+/// with no faults installed the send path is byte-for-byte the healthy
+/// one.
+struct LinkFault {
+  double drop = 0.0;       // P(message silently lost)
+  double duplicate = 0.0;  // P(message delivered twice)
+  double spike = 0.0;      // P(spike_latency added before delivery)
+  SimTime spike_latency = 50 * kMillisecond;
 };
 
 class Network {
@@ -52,6 +66,21 @@ class Network {
   }
   std::uint64_t dropped_messages() const { return dropped_; }
 
+  /// Install (or replace) a fault on the a<->b link; both directions are
+  /// affected. Zero overhead for all other traffic, and none at all once
+  /// every fault is cleared.
+  void set_link_fault(NetAddr a, NetAddr b, const LinkFault& fault);
+  void clear_link_fault(NetAddr a, NetAddr b);
+  void clear_link_faults() { link_faults_.clear(); }
+  const LinkFault* link_fault(NetAddr a, NetAddr b) const;
+
+  struct FaultCounters {
+    std::uint64_t dropped = 0;
+    std::uint64_t duplicated = 0;
+    std::uint64_t spiked = 0;
+  };
+  const FaultCounters& fault_counters() const { return fault_counters_; }
+
   std::uint64_t messages_sent(MsgType t) const {
     return counts_[static_cast<std::size_t>(t)];
   }
@@ -62,14 +91,23 @@ class Network {
   std::size_t endpoint_count() const { return endpoints_.size(); }
 
  private:
+  static std::uint64_t link_key(NetAddr a, NetAddr b) {
+    const std::uint32_t lo = static_cast<std::uint32_t>(a < b ? a : b);
+    const std::uint32_t hi = static_cast<std::uint32_t>(a < b ? b : a);
+    return (static_cast<std::uint64_t>(lo) << 32) | hi;
+  }
+
   Simulation& sim_;
   NetworkParams params_;
   Rng rng_;
+  Rng fault_rng_;  // separate stream: injection never perturbs jitter
   std::vector<NetEndpoint*> endpoints_;
   std::vector<std::uint8_t> down_;
   std::size_t down_count_ = 0;
   std::uint64_t dropped_ = 0;
   std::array<std::uint64_t, kNumMsgTypes> counts_{};
+  std::unordered_map<std::uint64_t, LinkFault> link_faults_;
+  FaultCounters fault_counters_;
   /// Earliest permissible delivery per (src,dst) to preserve FIFO order;
   /// row `from` is indexed by `to` and grown on first use.
   std::vector<std::vector<SimTime>> fifo_floor_;
