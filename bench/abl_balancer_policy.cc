@@ -64,9 +64,12 @@ int main(int argc, char** argv) {
     for (int i = 0; i < cluster.num_mds(); ++i) {
       migrations += cluster.mds(i).stats().migrations_out;
     }
-    const double avg = m.avg_throughput().mean_in(t0, t1);
-    const double mn = m.min_throughput().mean_in(t0, t1);
-    const double mx = m.max_throughput().mean_in(t0, t1);
+    const double avg =
+        m.avg_throughput().mean_in(t0, t1, /*include_end=*/true);
+    const double mn =
+        m.min_throughput().mean_in(t0, t1, /*include_end=*/true);
+    const double mx =
+        m.max_throughput().mean_in(t0, t1, /*include_end=*/true);
     csv.field(p.name).field(avg).field(mn).field(mx).field(migrations);
     csv.end_row();
     table.add_row({p.name, fmt_double(avg, 0), fmt_double(mn, 0),

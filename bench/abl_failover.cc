@@ -65,7 +65,8 @@ Outcome run_mode(bool warm, CsvWriter& csv, bool quick) {
   o.before = m.avg_throughput().mean_in(cfg.warmup, kill_at);
   o.dip = m.avg_throughput().mean_in(kill_at, kill_at + 4 * kSecond) * scale;
   o.settled = m.avg_throughput().mean_in(cfg.duration - 10 * kSecond,
-                                         cfg.duration) *
+                                         cfg.duration,
+                                         /*include_end=*/true) *
               scale;
   const std::uint64_t dh = hits1 - hits0;
   const std::uint64_t dm = misses1 - misses0;

@@ -82,7 +82,8 @@ int main(int argc, char** argv) {
   const double dip =
       m.avg_throughput().mean_in(crash_at, crash_at + 5 * kSecond);
   const double recovered =
-      m.avg_throughput().mean_in(restart_at + 5 * kSecond, cfg.duration);
+      m.avg_throughput().mean_in(restart_at + 5 * kSecond, cfg.duration,
+                                 /*include_end=*/true);
 
   std::cout << "Lifecycle spans (FaultLog):\n";
   print_summary("detection latency (crash -> first survivor detection)",

@@ -48,13 +48,19 @@ void run_strategy(StrategyKind k, CsvWriter& csv, bool quick) {
             << fmt_double(m.avg_throughput().mean_in(cfg.warmup, shift), 0)
             << " ops/s, after shift "
             << fmt_double(
-                   m.avg_throughput().mean_in(shift + 5 * kSecond, end), 0)
+                   m.avg_throughput().mean_in(shift + 5 * kSecond, end,
+                                              /*include_end=*/true),
+                   0)
             << " ops/s; min-node after shift "
             << fmt_double(
-                   m.min_throughput().mean_in(shift + 5 * kSecond, end), 0)
+                   m.min_throughput().mean_in(shift + 5 * kSecond, end,
+                                              /*include_end=*/true),
+                   0)
             << ", max-node "
             << fmt_double(
-                   m.max_throughput().mean_in(shift + 5 * kSecond, end), 0)
+                   m.max_throughput().mean_in(shift + 5 * kSecond, end,
+                                              /*include_end=*/true),
+                   0)
             << "; migrations " << migrations << "\n";
 }
 

@@ -35,7 +35,8 @@ void run_strategy(StrategyKind k, CsvWriter& csv, bool quick) {
                           3)
             << ", settled "
             << fmt_double(m.forward_fraction().mean_in(shift + 15 * kSecond,
-                                                       cfg.duration),
+                                                       cfg.duration,
+                                                       /*include_end=*/true),
                           3)
             << "\n";
 }

@@ -73,7 +73,8 @@ int main() {
                    m.avg_throughput().mean_in(shift, shift + 8 * kSecond), 0)
             << ", after adaptation "
             << fmt_double(m.avg_throughput().mean_in(shift + 15 * kSecond,
-                                                     cfg.duration),
+                                                     cfg.duration,
+                                                     /*include_end=*/true),
                           0)
             << " ops/s\n"
             << "Compare with StaticSubtree via bench/fig5_adaptation.\n";

@@ -79,6 +79,17 @@ void Client::issue(const Operation& op) {
                                            : kInvalidInode;
   msg->name = op.name;
 
+  if (tracer_ != nullptr) {
+    if (attempts_ == 0) {
+      trace_rec_.begin(msg->req_id, id_, op.op, sim_.now());
+    } else {
+      // Re-issue: the timeout + backoff gap is attributed to kStallWait
+      // and the old request instance loses the right to attribute.
+      trace_rec_.rearm(msg->req_id, sim_.now());
+    }
+    msg->trace = &trace_rec_;
+  }
+
   inflight_req_ = msg->req_id;
   inflight_op_ = op;
   issued_at_ = sim_.now();
@@ -153,6 +164,12 @@ void Client::on_message(NetAddr from, MessagePtr msg) {
   if (!reply.success) ++stats_.ops_failed;
   if (reply.hops > 0) ++stats_.forwarded_replies;
   stats_.latency_seconds.add(to_seconds(sim_.now() - issued_at_));
+  if (tracer_ != nullptr) {
+    trace_rec_.advance(TraceStage::kNetReply, sim_.now(), reply.req_id);
+    trace_rec_.hops = reply.hops;
+    trace_rec_.failed = !reply.success;
+    tracer_->complete(trace_rec_, sim_.now());
+  }
   locations_.learn(reply.hints);
 
   schedule_next();

@@ -15,6 +15,7 @@
 #include "client/location_cache.h"
 #include "common/rng.h"
 #include "common/stats.h"
+#include "common/trace.h"
 #include "common/types.h"
 #include "mds/dirfrag.h"
 #include "mds/messages.h"
@@ -67,6 +68,12 @@ class Client final : public NetEndpoint {
     retry_backoff_cap_ = cap;
   }
 
+  /// Enable per-request tracing: each issued op carries a pointer to this
+  /// client's TraceRecord (closed-loop clients have exactly one op in
+  /// flight, so one reusable record suffices) and completed ops are
+  /// ingested by the collector. Null (the default) disables tracing.
+  void set_tracer(TraceCollector* tracer) { tracer_ = tracer; }
+
  private:
   void schedule_next();
   void issue(const Operation& op);
@@ -85,6 +92,8 @@ class Client final : public NetEndpoint {
   Rng rng_;
   LocationCache locations_;
   ClientStats stats_;
+  TraceCollector* tracer_ = nullptr;
+  TraceRecord trace_rec_;
 
   std::uint64_t next_req_id_ = 1;
   std::uint64_t inflight_req_ = 0;  // 0 = idle

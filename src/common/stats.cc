@@ -80,22 +80,31 @@ double LogHistogram::percentile(double p) const {
   const double target = static_cast<double>(total_) * p / 100.0;
   double cum = 0.0;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
+    // Empty buckets must not satisfy `cum >= target`: with p == 0 the
+    // target is 0 and an empty bottom bucket would otherwise report
+    // 0.5 * min_value even when every sample is far above it. Percentiles
+    // are only ever reported from occupied buckets.
+    if (counts_[i] == 0) continue;
     cum += static_cast<double>(counts_[i]);
     if (cum >= target) {
-      // Midpoint of the bucket in log space.
       const double lo = bucket_lower(i);
+      // The last bucket is the overflow clamp — it has no meaningful upper
+      // edge, so report its lower bound rather than a midpoint beyond
+      // max_value (matters for percentile(100) with out-of-range samples).
+      if (i + 1 == counts_.size()) return lo;
+      // Midpoint of the bucket in log space.
       const double hi = bucket_lower(i + 1);
       return lo > 0 ? std::sqrt(lo * hi) : hi * 0.5;
     }
   }
-  return bucket_lower(counts_.size());
+  return bucket_lower(counts_.size() - 1);
 }
 
-double TimeSeries::mean_in(SimTime t0, SimTime t1) const {
+double TimeSeries::mean_in(SimTime t0, SimTime t1, bool include_end) const {
   double sum = 0.0;
   std::uint64_t n = 0;
   for (const Point& p : points_) {
-    if (p.time >= t0 && p.time < t1) {
+    if (p.time >= t0 && (p.time < t1 || (include_end && p.time == t1))) {
       sum += p.value;
       ++n;
     }

@@ -133,8 +133,13 @@ class TimeSeries {
   const std::vector<Point>& points() const { return points_; }
   bool empty() const { return points_.empty(); }
 
-  /// Mean of values with time in [t0, t1).
-  double mean_in(SimTime t0, SimTime t1) const;
+  /// Mean of values with time in [t0, t1), or [t0, t1] when `include_end`
+  /// is set. Consecutive interior windows must use the default half-open
+  /// convention so a boundary sample is counted exactly once; the window
+  /// that ends at the run end must pass `include_end = true`, because
+  /// `Simulation::run_until(d)` fires events *at* d and the final metrics
+  /// sample therefore lands exactly on the boundary.
+  double mean_in(SimTime t0, SimTime t1, bool include_end = false) const;
   double max_value() const;
 
  private:

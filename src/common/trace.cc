@@ -1,0 +1,180 @@
+#include "common/trace.h"
+
+#include <algorithm>
+
+#include "common/csv.h"
+
+namespace mdsim {
+
+namespace {
+constexpr double kNsPerMs = 1e6;
+
+LogHistogram make_ns_hist() {
+  // 1 ns .. 10 s, 20 buckets per decade (~12% resolution).
+  return LogHistogram(1.0, 1e10, 20);
+}
+}  // namespace
+
+TraceCollector::TraceCollector(std::size_t slowest_n) : slowest_n_(slowest_n) {
+  stage_hist_.resize(kNumOpTypes);
+  total_hist_.reserve(kNumOpTypes);
+  for (int op = 0; op < kNumOpTypes; ++op) {
+    for (int s = 0; s < kNumTraceStages; ++s) {
+      stage_hist_[static_cast<std::size_t>(op)][static_cast<std::size_t>(s)] =
+          make_ns_hist();
+    }
+    total_hist_.push_back(make_ns_hist());
+  }
+  slow_.reserve(slowest_n_ + 1);
+}
+
+bool TraceCollector::slower(const SlowOp& a, const SlowOp& b) const {
+  // Strict deterministic order: by total latency, ties broken by earlier
+  // start then lower client id (both unique per completed op instance).
+  if (a.total() != b.total()) return a.total() > b.total();
+  if (a.rec.start != b.rec.start) return a.rec.start < b.rec.start;
+  return a.rec.client < b.rec.client;
+}
+
+void TraceCollector::complete(const TraceRecord& rec, SimTime end) {
+  const auto op = static_cast<std::size_t>(rec.op);
+  const SimTime total = end - rec.start;
+  ++completed_;
+  ++op_count_[op];
+  total_sum_ns_[op] += total;
+  total_hist_[op].add(static_cast<double>(total));
+  for (int s = 0; s < kNumTraceStages; ++s) {
+    const SimTime ns = rec.stage_ns[static_cast<std::size_t>(s)];
+    if (ns == 0) continue;  // empty stages don't pollute the histograms
+    stage_sum_ns_[op][static_cast<std::size_t>(s)] += ns;
+    stage_hist_[op][static_cast<std::size_t>(s)].add(static_cast<double>(ns));
+  }
+
+  if (slowest_n_ == 0) return;
+  SlowOp s{rec, end};
+  if (slow_.size() < slowest_n_) {
+    slow_.push_back(s);
+    std::push_heap(slow_.begin(), slow_.end(),
+                   [this](const SlowOp& a, const SlowOp& b) {
+                     return slower(a, b);  // min-heap on "slower"
+                   });
+    return;
+  }
+  // slow_.front() is the fastest of the kept set; replace it if beaten.
+  if (slower(s, slow_.front())) {
+    std::pop_heap(slow_.begin(), slow_.end(),
+                  [this](const SlowOp& a, const SlowOp& b) {
+                    return slower(a, b);
+                  });
+    slow_.back() = s;
+    std::push_heap(slow_.begin(), slow_.end(),
+                   [this](const SlowOp& a, const SlowOp& b) {
+                     return slower(a, b);
+                   });
+  }
+}
+
+void TraceCollector::reset() {
+  completed_ = 0;
+  op_count_.fill(0);
+  total_sum_ns_.fill(0);
+  for (auto& per_op : stage_sum_ns_) per_op.fill(0);
+  for (int op = 0; op < kNumOpTypes; ++op) {
+    for (int s = 0; s < kNumTraceStages; ++s) {
+      stage_hist_[static_cast<std::size_t>(op)][static_cast<std::size_t>(s)] =
+          make_ns_hist();
+    }
+    total_hist_[static_cast<std::size_t>(op)] = make_ns_hist();
+  }
+  slow_.clear();
+}
+
+std::uint64_t TraceCollector::grand_total_ns() const {
+  std::uint64_t t = 0;
+  for (std::uint64_t v : total_sum_ns_) t += v;
+  return t;
+}
+
+std::vector<TraceCollector::SlowOp> TraceCollector::slowest() const {
+  std::vector<SlowOp> out = slow_;
+  std::sort(out.begin(), out.end(),
+            [this](const SlowOp& a, const SlowOp& b) { return slower(a, b); });
+  return out;
+}
+
+void TraceCollector::write_breakdown_csv(CsvWriter& csv) const {
+  csv.header({"op", "stage", "count", "total_ms", "share", "p50_ms", "p95_ms",
+              "p99_ms"});
+  for (int op = 0; op < kNumOpTypes; ++op) {
+    const auto o = static_cast<std::size_t>(op);
+    if (op_count_[o] == 0) continue;
+    for (int s = 0; s < kNumTraceStages; ++s) {
+      const auto& h = stage_hist_[o][static_cast<std::size_t>(s)];
+      if (h.total_count() == 0) continue;
+      const double total_ms =
+          static_cast<double>(stage_sum_ns_[o][static_cast<std::size_t>(s)]) /
+          kNsPerMs;
+      const double share =
+          static_cast<double>(stage_sum_ns_[o][static_cast<std::size_t>(s)]) /
+          static_cast<double>(total_sum_ns_[o]);
+      csv.field(std::string(op_name(static_cast<OpType>(op))))
+          .field(std::string(trace_stage_name(static_cast<TraceStage>(s))))
+          .field(h.total_count())
+          .field(total_ms)
+          .field(share)
+          .field(h.percentile(50) / kNsPerMs)
+          .field(h.percentile(95) / kNsPerMs)
+          .field(h.percentile(99) / kNsPerMs);
+      csv.end_row();
+    }
+    const auto& t = total_hist_[o];
+    csv.field(std::string(op_name(static_cast<OpType>(op))))
+        .field(std::string("total"))
+        .field(t.total_count())
+        .field(static_cast<double>(total_sum_ns_[o]) / kNsPerMs)
+        .field(1.0)
+        .field(t.percentile(50) / kNsPerMs)
+        .field(t.percentile(95) / kNsPerMs)
+        .field(t.percentile(99) / kNsPerMs);
+    csv.end_row();
+  }
+}
+
+void TraceCollector::write_slowest_csv(CsvWriter& csv) const {
+  // CsvWriter::header takes an initializer_list; build the row manually so
+  // the per-stage columns stay in enum order.
+  csv.field(std::string("rank"))
+      .field(std::string("op"))
+      .field(std::string("client"))
+      .field(std::string("start_s"))
+      .field(std::string("total_ms"))
+      .field(std::string("hops"))
+      .field(std::string("retries"))
+      .field(std::string("failed"));
+  for (int s = 0; s < kNumTraceStages; ++s) {
+    csv.field(std::string(trace_stage_name(static_cast<TraceStage>(s))) +
+              "_ms");
+  }
+  csv.end_row();
+
+  const std::vector<SlowOp> ops = slowest();
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const SlowOp& so = ops[i];
+    csv.field(static_cast<std::uint64_t>(i + 1))
+        .field(std::string(op_name(so.rec.op)))
+        .field(static_cast<std::int64_t>(so.rec.client))
+        .field(to_seconds(so.rec.start))
+        .field(static_cast<double>(so.total()) / kNsPerMs)
+        .field(static_cast<std::int64_t>(so.rec.hops))
+        .field(static_cast<std::int64_t>(so.rec.retries))
+        .field(static_cast<std::int64_t>(so.rec.failed ? 1 : 0));
+    for (int s = 0; s < kNumTraceStages; ++s) {
+      csv.field(static_cast<double>(
+                    so.rec.stage_ns[static_cast<std::size_t>(s)]) /
+                kNsPerMs);
+    }
+    csv.end_row();
+  }
+}
+
+}  // namespace mdsim

@@ -100,6 +100,9 @@ void ClusterSim::build() {
   }
 
   // --- clients -------------------------------------------------------------
+  if (config_.trace.enabled) {
+    tracer_ = std::make_unique<TraceCollector>(config_.trace.slowest_n);
+  }
   clients_.reserve(static_cast<std::size_t>(config_.num_clients));
   for (ClientId c = 0; c < config_.num_clients; ++c) {
     clients_.push_back(std::make_unique<Client>(
@@ -114,6 +117,7 @@ void ClusterSim::build() {
     clients_.back()->set_request_timeout(config_.client_request_timeout);
     clients_.back()->set_retry_backoff(config_.client_backoff_base,
                                        config_.client_backoff_cap);
+    clients_.back()->set_tracer(tracer_.get());
   }
 
   // --- metrics -------------------------------------------------------------
@@ -124,6 +128,7 @@ void ClusterSim::build() {
   metrics_ = std::make_unique<Metrics>(std::move(node_ptrs),
                                        std::move(client_ptrs), &sim_);
   metrics_->set_fault_log(&fault_log_);
+  metrics_->set_trace(tracer_.get());
 }
 
 void ClusterSim::run_until(SimTime t) {

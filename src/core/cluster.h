@@ -65,6 +65,8 @@ class ClusterSim {
   int num_clients() const { return static_cast<int>(clients_.size()); }
 
   Metrics& metrics() { return *metrics_; }
+  /// Per-request trace collector; null unless config.trace.enabled.
+  TraceCollector* tracer() { return tracer_.get(); }
 
  private:
   void build();
@@ -84,6 +86,7 @@ class ClusterSim {
   std::unique_ptr<Workload> workload_;
   std::vector<std::unique_ptr<Client>> clients_;
   std::unique_ptr<Metrics> metrics_;
+  std::unique_ptr<TraceCollector> tracer_;
   FaultLog fault_log_;
   bool built_ = false;
   bool started_ = false;

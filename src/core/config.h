@@ -1,6 +1,7 @@
 // Top-level simulation configuration and per-experiment presets.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -66,6 +67,17 @@ struct SimConfig {
   /// dead node strands so recovery isn't met with a stampede.
   SimTime client_backoff_base = 250 * kMillisecond;
   SimTime client_backoff_cap = 2 * kSecond;
+
+  /// Per-request tracing / latency attribution (src/common/trace.h).
+  /// Disabled by default: no trace records exist, every hook reduces to a
+  /// null-pointer check, and simulation results are identical either way
+  /// (tracing observes; it never schedules or draws randomness).
+  struct TraceParams {
+    bool enabled = false;
+    /// How many slowest requests to keep for the structured dump.
+    std::size_t slowest_n = 32;
+  };
+  TraceParams trace;
 
   /// Simulated run length; statistics reset at `warmup`.
   SimTime duration = 20 * kSecond;

@@ -66,6 +66,9 @@ void Metrics::reset(SimTime now) {
   for (Client* c : clients_) {
     c->stats().latency_seconds = Summary{};
   }
+  // Warmup traces are dropped together with the latency Summaries they
+  // reconcile against.
+  if (trace_ != nullptr) trace_->reset();
 }
 
 double Metrics::avg_mds_throughput(SimTime now) const {

@@ -8,6 +8,7 @@
 
 #include "common/fault_log.h"
 #include "common/stats.h"
+#include "common/trace.h"
 #include "common/types.h"
 #include "sim/simulation.h"
 
@@ -60,6 +61,13 @@ class Metrics {
     return sim_ != nullptr ? sim_->counters() : Simulation::Counters{};
   }
 
+  // --- latency attribution -------------------------------------------------
+  /// Attach the per-request trace collector (null when tracing is off).
+  /// Owned by the cluster; reset() drops its warmup-phase traces so the
+  /// breakdown table covers the same window as the figure aggregates.
+  void set_trace(TraceCollector* trace) { trace_ = trace; }
+  TraceCollector* trace() const { return trace_; }
+
   // --- failure lifecycle ---------------------------------------------------
   void set_fault_log(const FaultLog* log) { faults_ = log; }
   const FaultLog* fault_log() const { return faults_; }
@@ -83,6 +91,7 @@ class Metrics {
   std::vector<Client*> clients_;
   const Simulation* sim_ = nullptr;
   const FaultLog* faults_ = nullptr;
+  TraceCollector* trace_ = nullptr;
 
   std::vector<TimeSeries> mds_tput_;
   TimeSeries avg_tput_;

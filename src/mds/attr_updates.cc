@@ -32,7 +32,7 @@ bool MdsNode::try_local_attr_update(RequestPtr req) {
   if (e == nullptr || e->authoritative) return false;
 
   const SimTime cost = P.cpu_request;
-  charge_cpu(cost, [this, req]() {
+  charge_cpu(cost, cpu_span(req), [this, req]() {
     CacheEntry* e = cache_.peek(req->target->ino());
     if (e == nullptr || e->authoritative ||
         !ctx_.tree.alive(req->target)) {
@@ -55,7 +55,9 @@ bool MdsNode::try_local_attr_update(RequestPtr req) {
     cache_.lookup(ino, ctx_.sim.now(), /*count_stats=*/false);  // keep warm
     // Local write-ahead commit, then reply — no cross-cluster round trip.
     journal_.append(ino);
-    disk_.journal_append([this, req]() { finish(req, true, req->msg.target); });
+    disk_.journal_append(journal_span(req), [this, req]() {
+      finish(req, true, req->msg.target);
+    });
   });
   return true;
 }
@@ -177,6 +179,9 @@ void MdsNode::resume_attr_waiters(InodeId ino) {
   auto waiters = std::move(it->second.reqs);
   attr_waiters_.erase(it);
   for (auto& req : waiters) {
+    // Parked since gather_remote_attrs: the delta call-in round trip
+    // (including the holders' flush processing) is a stall.
+    trace_mark(req->msg, TraceStage::kStallWait);
     if (!ctx_.tree.alive(req->target)) {
       fail(std::move(req));
       continue;

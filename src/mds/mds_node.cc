@@ -57,6 +57,10 @@ void MdsNode::charge_cpu(SimTime amount, InlineTask then) {
   cpu_.submit(amount, std::move(then));
 }
 
+void MdsNode::charge_cpu(SimTime amount, TraceSpan span, InlineTask then) {
+  cpu_.submit(amount, span, std::move(then));
+}
+
 // --------------------------------------------------------------------------
 // Tier-2 writeback batching (paper section 4.6): entries expiring from the
 // bounded journal are flushed to the directory-object store in batches —
@@ -159,6 +163,9 @@ void MdsNode::on_message(NetAddr from, MessagePtr msg) {
 void MdsNode::handle_client_request(ClientRequestMsg msg, NetAddr reply_to) {
   ++stats_.requests_received;
   if (msg.hops == 0) stats_.request_rate.add();
+  // Close the link segment: client -> here (first hop) or peer -> here.
+  trace_mark(msg, msg.hops == 0 ? TraceStage::kNetRequest
+                                : TraceStage::kNetForward);
 
   auto req = std::make_shared<Request>();
   req->msg = std::move(msg);
@@ -171,13 +178,15 @@ void MdsNode::route(RequestPtr req) {
   req->target = ctx_.tree.by_ino(m.target);
   if (req->target == nullptr) {
     // Target vanished (raced with an unlink) — fail after a cheap check.
-    charge_cpu(ctx_.params.cpu_forward, [this, req]() { fail(req); });
+    charge_cpu(ctx_.params.cpu_forward, cpu_span(req),
+               [this, req]() { fail(req); });
     return;
   }
   if (m.secondary != kInvalidInode) {
     req->secondary = ctx_.tree.by_ino(m.secondary);
     if (req->secondary == nullptr) {
-      charge_cpu(ctx_.params.cpu_forward, [this, req]() { fail(req); });
+      charge_cpu(ctx_.params.cpu_forward, cpu_span(req),
+                 [this, req]() { fail(req); });
       return;
     }
   }
@@ -213,7 +222,7 @@ void MdsNode::route(RequestPtr req) {
       const SimTime cost =
           ctx_.params.cpu_request +
           ctx_.params.cpu_per_component * (req->target->depth() + 1);
-      charge_cpu(cost, [this, req]() { serve(req); });
+      charge_cpu(cost, cpu_span(req), [this, req]() { serve(req); });
       return;
     }
     ++stats_.forwards;
@@ -221,7 +230,7 @@ void MdsNode::route(RequestPtr req) {
     auto fwd = std::make_unique<ForwardMsg>();
     fwd->inner = req->msg;
     ++fwd->inner.hops;
-    charge_cpu(ctx_.params.cpu_forward,
+    charge_cpu(ctx_.params.cpu_forward, cpu_span(req),
                [this, to = auth, f = std::move(fwd)]() mutable {
                  ctx_.net.send(id_, to, std::move(f));
                });
@@ -231,7 +240,7 @@ void MdsNode::route(RequestPtr req) {
   const SimTime cost =
       ctx_.params.cpu_request +
       ctx_.params.cpu_per_component * (req->target->depth() + 1);
-  charge_cpu(cost, [this, req]() { serve(req); });
+  charge_cpu(cost, cpu_span(req), [this, req]() { serve(req); });
 }
 
 void MdsNode::serve(RequestPtr req) {
@@ -314,10 +323,15 @@ void MdsNode::serve_target(RequestPtr req) {
         unpin_all(req);
         return;
       }
-      fetch_local(node, InsertKind::kDemand,
-                  [this, req, node](CacheEntry* entry) {
-                    finish(req, entry != nullptr, node->ino());
-                  });
+      fetch_local(
+          node, InsertKind::kDemand,
+          [this, req, node](CacheEntry* entry) {
+            // Initiator: the disk span already tiled the wait, so this
+            // adds 0. Coalesced joiner: the whole park is fetch-wait.
+            trace_mark(req->msg, TraceStage::kFetchWait);
+            finish(req, entry != nullptr, node->ino());
+          },
+          /*single_item=*/false, disk_span(req));
       return;
     }
 
@@ -331,14 +345,17 @@ void MdsNode::serve_target(RequestPtr req) {
       if (e != nullptr) cache_.mark_demand_access(e);
       if (e == nullptr) {
         stats_.miss_rate.add();
-        fetch_local(dir, InsertKind::kDemand,
-                    [this, req](CacheEntry* entry) {
-                      if (entry == nullptr) {
-                        fail(req);
-                      } else {
-                        serve_target(req);  // re-enter with dir resident
-                      }
-                    });
+        fetch_local(
+            dir, InsertKind::kDemand,
+            [this, req](CacheEntry* entry) {
+              trace_mark(req->msg, TraceStage::kFetchWait);
+              if (entry == nullptr) {
+                fail(req);
+              } else {
+                serve_target(req);  // re-enter with dir resident
+              }
+            },
+            /*single_item=*/false, disk_span(req));
         return;
       }
       if (ctx_.traits.whole_directory_io) {
@@ -350,7 +367,7 @@ void MdsNode::serve_target(RequestPtr req) {
         stats_.miss_rate.add();
         const std::uint32_t nodes = ctx_.store.full_fetch_nodes(dir);
         pin_entry(req, e);
-        disk_.read_object(nodes, [this, req, dir]() {
+        disk_.read_object(nodes, disk_span(req), [this, req, dir]() {
           prefetch_children(dir);
           CacheEntry* de = cache_.peek(dir->ino());
           if (de != nullptr) de->complete = true;
@@ -360,7 +377,7 @@ void MdsNode::serve_target(RequestPtr req) {
       }
       // File-granularity strategies: the dentry list is one object, but
       // the inodes are scattered — later stats pay per-inode fetches.
-      disk_.read_object(1, [this, req, dir]() {
+      disk_.read_object(1, disk_span(req), [this, req, dir]() {
         finish(req, true, dir->ino());
       });
       return;
@@ -550,7 +567,8 @@ void MdsNode::apply_update(RequestPtr req) {
   journal_.append(journal_ino);
   ++stats_.updates_journaled;
   const InodeId rino = result;
-  disk_.journal_append([this, req, rino]() { finish(req, true, rino); });
+  disk_.journal_append(journal_span(req),
+                       [this, req, rino]() { finish(req, true, rino); });
 }
 
 // --------------------------------------------------------------------------

@@ -218,6 +218,32 @@ class MdsNode final : public NetEndpoint {
   void pin_entry(RequestPtr req, CacheEntry* e);
   void unpin_all(RequestPtr req);
   void charge_cpu(SimTime amount, InlineTask then);
+  void charge_cpu(SimTime amount, TraceSpan span, InlineTask then);
+
+  // ---- latency attribution (src/common/trace.h) ---------------------------
+  /// Attribute [record.last, now) to `stage` for a traced request; no-op
+  /// when the op carries no trace context (tracing off).
+  void trace_mark(const ClientRequestMsg& m, TraceStage stage) {
+    if (m.trace != nullptr) m.trace->advance(stage, ctx_.sim.now(), m.req_id);
+  }
+  /// Queue/service attribution handle for one of this request's resource
+  /// visits. Empty (inert) when tracing is off.
+  static TraceSpan trace_span(const ClientRequestMsg& m, TraceStage queue,
+                              TraceStage service) {
+    return TraceSpan{m.trace, m.req_id, queue, service};
+  }
+  TraceSpan cpu_span(const RequestPtr& req) const {
+    return trace_span(req->msg, TraceStage::kCpuQueue,
+                      TraceStage::kCpuService);
+  }
+  TraceSpan disk_span(const RequestPtr& req) const {
+    return trace_span(req->msg, TraceStage::kDiskQueue,
+                      TraceStage::kDiskService);
+  }
+  TraceSpan journal_span(const RequestPtr& req) const {
+    return trace_span(req->msg, TraceStage::kJournalQueue,
+                      TraceStage::kJournalService);
+  }
 
   // ---- traversal engine (traversal.cc) ------------------------------------
   /// Continue walking req->chain from chain_idx; calls serve_target when
@@ -229,9 +255,12 @@ class MdsNode final : public NetEndpoint {
   /// `single_item`: read just the one dentry (a B+tree lookup — used when
   /// serving replica grants) instead of the whole directory object with
   /// embedded-inode prefetch (used when serving requests with locality).
+  /// `span`: attribution handle of the request initiating the fetch; when
+  /// the fetch coalesces behind one already in flight the span is unused
+  /// (joiners attribute their park time at resume instead).
   void fetch_local(FsNode* node, InsertKind kind,
                    std::function<void(CacheEntry*)> done,
-                   bool single_item = false);
+                   bool single_item = false, TraceSpan span = {});
   /// Ask `auth` for a replica of `node`; insert and call done.
   void fetch_replica(FsNode* node, MdsId auth, InsertKind kind,
                      std::function<void(CacheEntry*)> done);

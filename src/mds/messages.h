@@ -15,6 +15,8 @@
 
 namespace mdsim {
 
+struct TraceRecord;
+
 /// Where the client should send future requests for an item (traffic
 /// control, paper section 4.4: "all responses sent to clients include
 /// current distribution information ... for the metadata requested and
@@ -45,6 +47,13 @@ struct ClientRequestMsg final : Message {
 
   /// Forwarding trail (for statistics + loop suppression).
   std::uint8_t hops = 0;
+
+  /// Latency-attribution context, owned by the issuing client (null when
+  /// tracing is off). Not a wire field: the simulator shortcut for a
+  /// trace id that real systems would carry in the header. Clones
+  /// (network duplication) share the record; the record's request-id
+  /// guard keeps stale instances from attributing.
+  TraceRecord* trace = nullptr;
 };
 
 struct ClientReplyMsg final : Message {

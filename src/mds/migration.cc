@@ -43,6 +43,8 @@ void MdsNode::flush_deferred() {
   std::deque<RequestPtr> pending;
   pending.swap(deferred_);
   for (auto& req : pending) {
+    // The whole freeze window was spent stalled behind the migration.
+    trace_mark(req->msg, TraceStage::kStallWait);
     // Re-route: the partition changed, so these will typically forward.
     route(std::move(req));
   }

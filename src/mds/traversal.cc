@@ -27,7 +27,14 @@ void MdsNode::advance_traversal(RequestPtr req) {
     }
     stats_.miss_rate.add();
     const MdsId auth = authority_for(node);
-    auto resume = [this, req](CacheEntry* entry) {
+    // Local miss: the initiating request's disk span tiles the wait, and
+    // a coalesced joiner charges the whole park to fetch-wait at resume.
+    // Remote miss: the entire request->grant round trip (including any
+    // paging at the authority) is replica-wait.
+    const TraceStage wait_stage = auth == id_ ? TraceStage::kFetchWait
+                                              : TraceStage::kReplicaWait;
+    auto resume = [this, req, wait_stage](CacheEntry* entry) {
+      trace_mark(req->msg, wait_stage);
       if (entry == nullptr) {
         fail(req);
         return;
@@ -35,7 +42,8 @@ void MdsNode::advance_traversal(RequestPtr req) {
       advance_traversal(req);
     };
     if (auth == id_) {
-      fetch_local(node, InsertKind::kPrefix, std::move(resume));
+      fetch_local(node, InsertKind::kPrefix, std::move(resume),
+                  /*single_item=*/false, disk_span(req));
     } else {
       fetch_replica(node, auth, InsertKind::kPrefix, std::move(resume));
     }
@@ -90,7 +98,7 @@ CacheEntry* MdsNode::cache_insert_anchored(FsNode* node, InsertKind kind,
 
 void MdsNode::fetch_local(FsNode* node, InsertKind kind,
                           std::function<void(CacheEntry*)> done,
-                          bool single_item) {
+                          bool single_item, TraceSpan span) {
   const SimTime now = ctx_.sim.now();
   // Uncounted lookup (not a client-visible cache probe) so serving
   // replica grants keeps the underlying items LRU-warm: a prefix the
@@ -115,7 +123,10 @@ void MdsNode::fetch_local(FsNode* node, InsertKind kind,
     nodes = fetch_cost_nodes(node);
   }
   const bool prefetch = !single_item;
-  disk_.read_object(nodes, [this, ino, kind, prefetch]() {
+  // Only the first waiter reaches here, so `span` is the initiator's:
+  // its disk queue/service time rides the shared read; joiners attribute
+  // their park to fetch-wait when resumed below.
+  disk_.read_object(nodes, span, [this, ino, kind, prefetch]() {
     auto waiters = cache_.take_fetch_waiters(ino, FetchChannel::kDisk);
 
     FsNode* node = ctx_.tree.by_ino(ino);

@@ -12,6 +12,17 @@ void QueueServer::submit(SimTime service_time, InlineTask done) {
   if (!busy_) start_next();
 }
 
+void QueueServer::submit(SimTime service_time, TraceSpan span,
+                         InlineTask done) {
+  SimTime enq = sim_.now();
+  if (span.rec != nullptr) {
+    spans_.push_back(span);
+    enq |= kSpanBit;
+  }
+  queue_.push_back(Job{service_time, enq, std::move(done)});
+  if (!busy_) start_next();
+}
+
 void QueueServer::start_next() {
   if (queue_.empty()) {
     busy_ = false;
@@ -20,17 +31,31 @@ void QueueServer::start_next() {
   busy_ = true;
   in_service_ = std::move(queue_.front());
   queue_.pop_front();
-  wait_.add(to_seconds(sim_.now() - in_service_.enqueued));
+  wait_.add(to_seconds(sim_.now() - (in_service_.enqueued & ~kSpanBit)));
+  if ((in_service_.enqueued & kSpanBit) != 0) {
+    in_service_span_ = spans_.front();
+    spans_.pop_front();
+    in_service_span_.on_service_start(sim_.now());
+  }
   busy_ns_ += in_service_.service;
   sim_.schedule(in_service_.service, [this]() { finish(); });
 }
 
 void QueueServer::finish() {
   Job job = std::move(in_service_);
+  // Read before start_next() hands in_service_span_ to the next job.
+  // Only valid when this job's kSpanBit is set; stale otherwise.
+  const TraceSpan span = in_service_span_;
   ++completed_;
   // Chain the next job before invoking the callback so that re-entrant
   // submissions from `done` queue behind already-waiting work.
   start_next();
+  // The access-latency tail is attributed eagerly (`skip`) rather than by
+  // wrapping `done` in another task — the wrapper would overflow the
+  // inline callback storage and fall back to the heap on the hot path.
+  if ((job.enqueued & kSpanBit) != 0) {
+    span.on_service_end(sim_.now(), access_latency_);
+  }
   if (access_latency_ == 0) {
     job.done();
   } else {

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "common/stats.h"
+#include "common/trace.h"
 #include "common/types.h"
 #include "sim/inline_task.h"
 
@@ -28,6 +29,12 @@ class QueueServer {
   /// Submit a job with the given service time; `done` fires when it
   /// completes (after queueing + access_latency + service).
   void submit(SimTime service_time, InlineTask done);
+
+  /// As above, with a trace span: the job's queue wait and service time
+  /// (plus access latency) are attributed to the span's stages. The span
+  /// is observational only — an empty span and a populated one produce
+  /// identical scheduling.
+  void submit(SimTime service_time, TraceSpan span, InlineTask done);
 
   /// Fixed latency added to every job, outside the serialized portion
   /// (i.e. it does not consume server capacity; models e.g. bus latency).
@@ -48,9 +55,16 @@ class QueueServer {
  private:
   struct Job {
     SimTime service = 0;
+    /// Enqueue timestamp; kSpanBit flags that the job carries a trace
+    /// span (held in the parallel spans_ FIFO). Untraced jobs — the
+    /// common case, and all jobs when tracing is off — thus stay exactly
+    /// the size they were before tracing existed, keeping deque slots
+    /// and job moves off the simulation hot path.
     SimTime enqueued = 0;
     InlineTask done;
   };
+  /// Simulated time would need ~292 years to reach this bit.
+  static constexpr SimTime kSpanBit = SimTime{1} << 63;
 
   void start_next();
   void finish();
@@ -59,10 +73,14 @@ class QueueServer {
   std::string name_;
   SimTime access_latency_ = 0;
   std::deque<Job> queue_;
+  /// Spans of traced queued jobs, in submission order (same relative
+  /// order as their kSpanBit-flagged entries in queue_).
+  std::deque<TraceSpan> spans_;
   /// The job occupying the server while busy_. Kept here (not captured
   /// into the completion event) so the event's task is just a `this`
   /// pointer — the server is serialized, so one in-service job suffices.
   Job in_service_;
+  TraceSpan in_service_span_;
   bool busy_ = false;
   std::uint64_t completed_ = 0;
   SimTime busy_ns_ = 0;

@@ -15,9 +15,10 @@ SimTime DiskModel::transfer_time(std::uint32_t nodes) const {
   return params_.transaction_time + extra * params_.per_node_time;
 }
 
-void DiskModel::read_object(std::uint32_t nodes, InlineTask done) {
+void DiskModel::read_object(std::uint32_t nodes, TraceSpan span,
+                            InlineTask done) {
   ++reads_;
-  store_.submit(transfer_time(nodes), std::move(done));
+  store_.submit(transfer_time(nodes), span, std::move(done));
 }
 
 void DiskModel::write_object(std::uint32_t nodes, InlineTask done) {
@@ -25,9 +26,9 @@ void DiskModel::write_object(std::uint32_t nodes, InlineTask done) {
   store_.submit(transfer_time(nodes), std::move(done));
 }
 
-void DiskModel::journal_append(InlineTask done) {
+void DiskModel::journal_append(TraceSpan span, InlineTask done) {
   ++journal_appends_;
-  journal_.submit(params_.journal_append_time, std::move(done));
+  journal_.submit(params_.journal_append_time, span, std::move(done));
 }
 
 void DiskModel::reset_stats(SimTime now) {

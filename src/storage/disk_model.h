@@ -33,12 +33,19 @@ class DiskModel {
  public:
   DiskModel(Simulation& sim, const DiskParams& params, std::string name);
 
-  /// Read one stored object spanning `nodes` B+tree nodes.
-  void read_object(std::uint32_t nodes, InlineTask done);
+  /// Read one stored object spanning `nodes` B+tree nodes. The traced
+  /// overload attributes queue/service time to the span's stages.
+  void read_object(std::uint32_t nodes, InlineTask done) {
+    read_object(nodes, TraceSpan{}, std::move(done));
+  }
+  void read_object(std::uint32_t nodes, TraceSpan span, InlineTask done);
   /// Write (back) an object touching `nodes` B+tree nodes.
   void write_object(std::uint32_t nodes, InlineTask done);
   /// Append a journal entry.
-  void journal_append(InlineTask done);
+  void journal_append(InlineTask done) {
+    journal_append(TraceSpan{}, std::move(done));
+  }
+  void journal_append(TraceSpan span, InlineTask done);
 
   std::uint64_t reads() const { return reads_; }
   std::uint64_t writes() const { return writes_; }

@@ -79,6 +79,40 @@ TEST(Metrics, WarmupResetDropsEarlyCounts) {
             with_warmup.metrics().total_replies());
 }
 
+TEST(Metrics, AggregatesSafeExactlyAtWarmupBoundary) {
+  // The warmup reset fires at t == warmup; querying the aggregates at that
+  // instant means a zero-length window. Division guards must hold: no
+  // div-by-zero, no negative deltas from the just-captured base_* counters.
+  SimConfig cfg = metrics_config();
+  ClusterSim cluster(cfg);
+  cluster.run_until(cfg.warmup);
+  Metrics& m = cluster.metrics();
+  EXPECT_EQ(cluster.sim().now(), cfg.warmup);
+  EXPECT_DOUBLE_EQ(m.avg_mds_throughput(cluster.sim().now()), 0.0);
+  EXPECT_DOUBLE_EQ(m.cluster_hit_rate(), 0.0);
+  EXPECT_EQ(m.total_replies(), 0u);
+  EXPECT_EQ(m.total_failures(), 0u);
+  EXPECT_EQ(m.client_latency().count(), 0u);
+}
+
+TEST(Metrics, PostWarmupDeltasCountEachReplyOnce) {
+  // base_* subtraction must not double-count: replies seen in the full run
+  // equal warmup-window replies plus post-warmup replies, measured on two
+  // identically seeded clusters.
+  SimConfig cfg = metrics_config();
+  ClusterSim full(cfg);
+  full.run();
+  const std::uint64_t post_warmup = full.metrics().total_replies();
+  SimConfig no_reset = cfg;
+  no_reset.warmup = 0;
+  ClusterSim whole(no_reset);
+  ClusterSim warm_only(no_reset);
+  whole.run();
+  warm_only.run_until(cfg.warmup);
+  EXPECT_EQ(warm_only.metrics().total_replies() + post_warmup,
+            whole.metrics().total_replies());
+}
+
 TEST(Metrics, ClientLatencyAggregated) {
   ClusterSim cluster(metrics_config());
   cluster.run();

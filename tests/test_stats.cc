@@ -72,6 +72,69 @@ TEST(LogHistogram, MeanExact) {
   EXPECT_EQ(h.total_count(), 4u);
 }
 
+TEST(LogHistogram, PercentileZeroSkipsEmptyBottomBucket) {
+  // Regression: percentile(0) has target 0, which an *empty* underflow
+  // bucket used to satisfy immediately — reporting 0.5 * min_value even
+  // though every sample sat orders of magnitude above it. The minimum must
+  // come from the first occupied bucket.
+  LogHistogram h(1.0, 1e6);
+  h.add(100);
+  EXPECT_GE(h.percentile(0), 100.0 * 0.8);  // within one log bucket of 100
+  EXPECT_LE(h.percentile(0), h.percentile(50));
+  EXPECT_LE(h.percentile(50), h.percentile(100));
+}
+
+TEST(LogHistogram, PercentileHundredFromOverflowBucket) {
+  // A sample beyond max_value lands in the overflow clamp bucket, which
+  // has no meaningful upper edge: percentile(100) reports its lower bound
+  // instead of a midpoint extrapolated past max_value.
+  LogHistogram h(1.0, 1e2, 10);
+  h.add(1e6);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 100.0);
+  h.add(5.0, 99);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 100.0);
+  EXPECT_LT(h.percentile(50), 10.0);  // bulk stays in the 5.0 bucket
+}
+
+TEST(LogHistogram, ValuesAtOrBelowMinShareUnderflowBucket) {
+  LogHistogram h(10.0, 1e3, 10);
+  h.add(3.0);
+  h.add(10.0);  // exactly min_value also underflows
+  EXPECT_EQ(h.total_count(), 2u);
+  // Underflow bucket spans [0, min_value): reported as its midpoint.
+  EXPECT_DOUBLE_EQ(h.percentile(100), 5.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 5.0);
+}
+
+TEST(LogHistogram, EmptyPercentileIsZero) {
+  LogHistogram h;
+  EXPECT_DOUBLE_EQ(h.percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 0.0);
+}
+
+TEST(LogHistogram, MergePreservesPercentilesAndMean) {
+  LogHistogram a(1.0, 1e6, 20), b(1.0, 1e6, 20), all(1.0, 1e6, 20);
+  for (int i = 1; i <= 200; ++i) {
+    const double v = i * 7.0;
+    ((i % 2) != 0 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.total_count(), all.total_count());
+  EXPECT_DOUBLE_EQ(a.mean(), all.mean());
+  EXPECT_DOUBLE_EQ(a.percentile(50), all.percentile(50));
+  EXPECT_DOUBLE_EQ(a.percentile(99), all.percentile(99));
+}
+
+#if GTEST_HAS_DEATH_TEST && !defined(NDEBUG)
+TEST(LogHistogramDeathTest, MergeRejectsMismatchedShape) {
+  LogHistogram a(1.0, 1e4, 5);
+  LogHistogram b(1.0, 1e6, 5);  // different bucket count
+  EXPECT_DEATH(a.merge(b), "counts_");
+}
+#endif
+
 TEST(LogHistogram, MergeAddsCounts) {
   LogHistogram a(1, 1e4, 5), b(1, 1e4, 5);
   a.add(100);
@@ -128,6 +191,33 @@ TEST(TimeSeries, MeanInWindow) {
   EXPECT_DOUBLE_EQ(ts.mean_in(0, 10 * kSecond), 20.0);
   EXPECT_DOUBLE_EQ(ts.mean_in(2 * kSecond, 3 * kSecond), 20.0);
   EXPECT_DOUBLE_EQ(ts.max_value(), 30.0);
+}
+
+TEST(TimeSeries, MeanInWindowIsHalfOpenByDefault) {
+  TimeSeries ts;
+  ts.record(1 * kSecond, 10);
+  ts.record(2 * kSecond, 20);
+  ts.record(3 * kSecond, 30);
+  // [1s, 3s) excludes the 3s sample...
+  EXPECT_DOUBLE_EQ(ts.mean_in(1 * kSecond, 3 * kSecond), 15.0);
+  // ...so consecutive interior windows count each sample exactly once.
+  EXPECT_DOUBLE_EQ(ts.mean_in(3 * kSecond, 5 * kSecond), 30.0);
+}
+
+TEST(TimeSeries, MeanInIncludeEndCapturesRunEndBoundarySample) {
+  // run_until(d) fires events at exactly d, so the final metrics sample
+  // lands on the boundary. A half-open window ending at the run end used
+  // to silently drop it; include_end pulls it back in.
+  TimeSeries ts;
+  ts.record(1 * kSecond, 10);
+  ts.record(2 * kSecond, 20);
+  ts.record(3 * kSecond, 30);  // final sample, exactly at duration
+  EXPECT_DOUBLE_EQ(
+      ts.mean_in(1 * kSecond, 3 * kSecond, /*include_end=*/true), 20.0);
+  // Degenerate window [t, t] with include_end picks up the lone sample.
+  EXPECT_DOUBLE_EQ(
+      ts.mean_in(3 * kSecond, 3 * kSecond, /*include_end=*/true), 30.0);
+  EXPECT_DOUBLE_EQ(ts.mean_in(3 * kSecond, 3 * kSecond), 0.0);
 }
 
 TEST(TimeConversions, RoundTrip) {

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Inspect the per-request trace CSVs emitted by bench/latency_breakdown.
+
+Usage:
+    tools/trace_top.py [results_dir] [--top N] [--op OP]
+
+Reads latency_breakdown.csv (per-op x per-stage aggregates) and
+latency_slowest.csv (slowest-N requests with full per-stage attribution)
+from results_dir (default: bench_results) and prints:
+
+  1. the cluster-wide stage ranking — where the time goes overall,
+  2. a per-op dominant-stage table,
+  3. the slowest requests, each with its top three stages.
+
+Stdlib only; no third-party dependencies.
+"""
+
+import argparse
+import csv
+import os
+import sys
+
+
+def read_rows(path):
+    if not os.path.exists(path):
+        sys.exit(f"missing {path} — run bench/latency_breakdown first")
+    with open(path, newline="") as f:
+        return list(csv.DictReader(f))
+
+
+def fmt_table(headers, rows):
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths))]
+    lines.append("-" * len(lines[0]))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def stage_ranking(breakdown):
+    """Cluster-wide attributed time per stage, descending."""
+    totals = {}
+    grand = 0.0
+    for r in breakdown:
+        ms = float(r["total_ms"])
+        if r["stage"] == "total":
+            grand += ms
+        else:
+            totals[r["stage"]] = totals.get(r["stage"], 0.0) + ms
+    rows = []
+    for stage, ms in sorted(totals.items(), key=lambda kv: -kv[1]):
+        share = ms / grand if grand > 0 else 0.0
+        rows.append([stage, f"{ms / 1000.0:.3f}", f"{share:6.1%}"])
+    return fmt_table(["stage", "total_s", "share"], rows)
+
+
+def per_op_table(breakdown, op_filter):
+    rows = []
+    ops = {}
+    for r in breakdown:
+        ops.setdefault(r["op"], []).append(r)
+    for op, group in ops.items():
+        if op_filter and op != op_filter:
+            continue
+        total = next(r for r in group if r["stage"] == "total")
+        stages = [r for r in group if r["stage"] != "total"]
+        top = max(stages, key=lambda r: float(r["total_ms"]))
+        rows.append([
+            op,
+            total["count"],
+            f"{float(total['total_ms']) / float(total['count']):.3f}",
+            f"{float(total['p99_ms']):.3f}",
+            top["stage"],
+            f"{float(top['share']):6.1%}",
+        ])
+    rows.sort(key=lambda r: -float(r[1]))
+    return fmt_table(
+        ["op", "count", "mean_ms", "p99_ms", "top_stage", "top_share"], rows)
+
+
+def slowest_table(slowest, top_n, op_filter):
+    stage_cols = [c for c in (slowest[0].keys() if slowest else [])
+                  if c.endswith("_ms") and c != "total_ms"]
+    rows = []
+    for r in slowest:
+        if op_filter and r["op"] != op_filter:
+            continue
+        stages = sorted(((c[:-3], float(r[c])) for c in stage_cols),
+                        key=lambda kv: -kv[1])
+        top3 = ", ".join(f"{name} {ms:.2f}ms"
+                         for name, ms in stages[:3] if ms > 0)
+        rows.append([
+            r["rank"], r["op"], r["client"], f"{float(r['start_s']):.3f}",
+            f"{float(r['total_ms']):.3f}", r["hops"], r["retries"], top3,
+        ])
+        if len(rows) >= top_n:
+            break
+    return fmt_table(
+        ["rank", "op", "client", "start_s", "total_ms", "hops", "retries",
+         "top stages"], rows)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("results_dir", nargs="?", default="bench_results")
+    ap.add_argument("--top", type=int, default=10,
+                    help="how many slow requests to show (default 10)")
+    ap.add_argument("--op", default=None,
+                    help="restrict to one op type (e.g. readdir)")
+    args = ap.parse_args()
+
+    breakdown = read_rows(os.path.join(args.results_dir,
+                                       "latency_breakdown.csv"))
+    slowest = read_rows(os.path.join(args.results_dir,
+                                     "latency_slowest.csv"))
+
+    print("== Attributed time by stage (all ops) ==")
+    print(stage_ranking(breakdown))
+    print("\n== Per-op summary ==")
+    print(per_op_table(breakdown, args.op))
+    print(f"\n== Slowest requests (top {args.top}) ==")
+    print(slowest_table(slowest, args.top, args.op))
+
+
+if __name__ == "__main__":
+    main()
