@@ -1,13 +1,28 @@
 // Availability experiment: the full failure lifecycle, measured.
 //
-// A scripted FaultPlan crashes one MDS mid-run and restarts it later.
-// Survivors detect the death from missed heartbeats (no oracle), take
-// over its delegations and warm their caches from its journal; the
-// restarted node replays its log through the disk model and rejoins.
+// Two scenarios share the harness:
+//
+//   (default)              A scripted FaultPlan crashes one MDS mid-run
+//                          and restarts it later. Survivors detect the
+//                          death from missed heartbeats (no oracle), wait
+//                          out the quorum-takeover grace, take over its
+//                          delegations and warm their caches from its
+//                          journal; the restarted node replays its log
+//                          through the disk model and rejoins.
+//
+//   --scenario=partition   The fabric splits: one MDS lands alone on the
+//                          minority side while the majority (and all
+//                          clients) stay connected. The minority node's
+//                          authority lease lapses and it self-fences
+//                          (parking writes, serving nothing it cannot
+//                          prove it still owns); the majority quorum
+//                          takes over its territory under a bumped epoch.
+//                          On heal the fenced node rejoins, reconciles
+//                          against the new epoch and resumes.
+//
 // We report the paper-relevant spans — detection latency, the
-// unavailability window (crash -> takeover) and recovery time (restart
-// -> rejoin) — alongside the throughput timeline that shows the dip and
-// the climb back.
+// unavailability window, recovery time, minority write-stall — alongside
+// the throughput timeline that shows the dip and the climb back.
 #include "bench_util.h"
 #include "core/fault_plan.h"
 
@@ -25,14 +40,7 @@ void print_summary(const char* label, const Summary& s) {
   std::cout << fmt_double(s.mean(), 3) << " s (n=" << s.count() << ")\n";
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  banner("Availability — crash, detection, takeover, restart, rejoin",
-         "paper: section 4.6 (failure recovery via shared storage and "
-         "journal replay)");
-  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
-
+SimConfig base_config(bool quick) {
   SimConfig cfg;
   cfg.strategy = StrategyKind::kDynamicSubtree;
   cfg.num_mds = 4;
@@ -43,9 +51,30 @@ int main(int argc, char** argv) {
   cfg.duration = 40 * kSecond;
   cfg.warmup = 3 * kSecond;
   cfg.client_request_timeout = kSecond;
+  return cfg;
+}
+
+void dump_throughput(ClusterSim& cluster, const std::string& csv_name) {
+  CsvWriter csv(csv_path(csv_name));
+  csv.header({"time_s", "avg_tput"});
+  for (const auto& p : cluster.metrics().avg_throughput().points()) {
+    csv.field(to_seconds(p.time)).field(p.value);
+    csv.end_row();
+  }
+  std::cout << "CSV: " << csv_path(csv_name) << "\n";
+}
+
+int run_crash(bool quick) {
+  banner("Availability — crash, detection, takeover, restart, rejoin",
+         "paper: section 4.6 (failure recovery via shared storage and "
+         "journal replay)");
+  SimConfig cfg = base_config(quick);
 
   const SimTime crash_at = 10 * kSecond;
-  const SimTime restart_at = 18 * kSecond;
+  // The restart must land after the grace-delayed takeover
+  // (detection ~3.5 s + takeover grace 4 s after the crash); a node that
+  // returns while its takeover is pending simply cancels it.
+  const SimTime restart_at = 22 * kSecond;
   const MdsId victim = 1;
 
   ClusterSim cluster(cfg);
@@ -56,12 +85,6 @@ int main(int argc, char** argv) {
   cluster.run_until(cfg.duration);
 
   Metrics& m = cluster.metrics();
-  CsvWriter csv(csv_path("availability"));
-  csv.header({"time_s", "avg_tput"});
-  for (const auto& p : m.avg_throughput().points()) {
-    csv.field(to_seconds(p.time)).field(p.value);
-    csv.end_row();
-  }
 
   std::uint64_t retries = 0, stale = 0, failed = 0;
   for (int c = 0; c < cluster.num_clients(); ++c) {
@@ -80,7 +103,7 @@ int main(int argc, char** argv) {
 
   const double before = m.avg_throughput().mean_in(cfg.warmup, crash_at);
   const double dip =
-      m.avg_throughput().mean_in(crash_at, crash_at + 5 * kSecond);
+      m.avg_throughput().mean_in(crash_at, crash_at + 8 * kSecond);
   const double recovered =
       m.avg_throughput().mean_in(restart_at + 5 * kSecond, cfg.duration,
                                  /*include_end=*/true);
@@ -99,10 +122,111 @@ int main(int argc, char** argv) {
   std::cout << "Throughput: healthy " << fmt_double(before, 0)
             << " ops/s; crash window " << fmt_double(dip, 0)
             << "; after rejoin " << fmt_double(recovered, 0) << "\n";
-  std::cout << "Expected: a dip bounded by the heartbeat-miss horizon "
-               "(detection is ~3 heartbeat periods), then recovery to the "
-               "pre-crash level once the restarted node replays its "
-               "journal and reacquires load.\n";
-  std::cout << "CSV: " << csv_path("availability") << "\n";
+  std::cout << "Expected: a dip bounded by the heartbeat-miss horizon plus "
+               "the quorum-takeover grace, then recovery to the pre-crash "
+               "level once the restarted node replays its journal and "
+               "reacquires load.\n";
+  dump_throughput(cluster, "availability");
   return 0;
+}
+
+int run_partition(bool quick) {
+  banner("Availability — partition, fencing, quorum takeover, heal",
+         "split-brain safety: authority epochs, leases and quorum-gated "
+         "takeover under a network partition");
+  SimConfig cfg = base_config(quick);
+
+  const SimTime cut_at = 10 * kSecond;
+  const SimTime heal_at = 22 * kSecond;
+  const MdsId minority = 1;
+
+  ClusterSim cluster(cfg);
+  cluster.run_until(0);
+  FaultPlan plan;
+  // MDS addresses are 0..num_mds-1; endpoints not listed (every client)
+  // stay in group 0 with the majority, so the minority node is alone.
+  plan.partition(cut_at, heal_at, {{0, 2, 3}, {minority}});
+  plan.arm(cluster);
+  cluster.run_until(cfg.duration);
+
+  Metrics& m = cluster.metrics();
+
+  std::uint64_t retries = 0, stale = 0, failed = 0;
+  for (int c = 0; c < cluster.num_clients(); ++c) {
+    const ClientStats& s = cluster.client(c).stats();
+    retries += s.retries;
+    stale += s.stale_replies;
+    failed += s.ops_failed;
+  }
+  std::uint64_t fences = 0, unfences = 0, parked = 0, stale_rejects = 0;
+  std::uint64_t deferred = 0, takeovers = 0, reconciled = 0;
+  for (int i = 0; i < cluster.num_mds(); ++i) {
+    const MdsStats& s = cluster.mds(i).stats();
+    fences += s.fence_events;
+    unfences += s.unfence_events;
+    parked += s.writes_parked_fenced;
+    stale_rejects += s.stale_epoch_rejects;
+    deferred += s.takeovers_deferred;
+    takeovers += s.takeovers;
+    reconciled += s.reconcile_dropped_items;
+  }
+  const auto* subtree =
+      dynamic_cast<const SubtreePartition*>(&cluster.partition());
+
+  const double before = m.avg_throughput().mean_in(cfg.warmup, cut_at);
+  const double split = m.avg_throughput().mean_in(cut_at, heal_at);
+  const double healed = m.avg_throughput().mean_in(
+      heal_at + 3 * kSecond, cfg.duration, /*include_end=*/true);
+
+  std::cout << "Lifecycle spans (FaultLog):\n";
+  for (const auto& f : cluster.fault_log().fence_incidents()) {
+    std::cout << "  mds " << f.node << " fenced at "
+              << fmt_double(to_seconds(f.fenced_at), 3) << " s ("
+              << fmt_double(to_seconds(f.fenced_at) - to_seconds(cut_at), 3)
+              << " s after the cut), unfenced at "
+              << fmt_double(to_seconds(f.unfenced_at), 3) << " s\n";
+  }
+  std::cout << "  minority write stall (fenced node-seconds): "
+            << fmt_double(m.minority_stall_seconds(), 3) << " s\n";
+  std::cout << "Counters: fences " << fences << "; unfences " << unfences
+            << "; writes parked while fenced " << parked
+            << "; stale-epoch rejects " << stale_rejects
+            << "; takeovers deferred (no quorum) " << deferred
+            << "; takeovers executed " << takeovers
+            << "; reconcile-dropped items " << reconciled
+            << "; partition-dropped messages "
+            << cluster.network().partition_dropped() << "; client retries "
+            << retries << "; stale replies " << stale << "; ops abandoned "
+            << failed << "\n";
+  if (subtree != nullptr) {
+    std::cout << "Map epoch at end: " << subtree->epoch()
+              << " (1 = never reconfigured)\n";
+  }
+  std::cout << "Throughput: healthy " << fmt_double(before, 0)
+            << " ops/s; split window " << fmt_double(split, 0)
+            << "; after heal " << fmt_double(healed, 0) << "\n";
+  std::cout << "Expected: the minority node fences within its lease "
+               "(~2 s), the majority re-delegates after detection plus the "
+               "takeover grace, and no write is ever acknowledged by the "
+               "fenced side; after heal the node reconciles and the "
+               "cluster returns to the pre-cut level.\n";
+  dump_throughput(cluster, "availability_partition");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string scenario = "crash";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg.rfind("--scenario=", 0) == 0) {
+      scenario = arg.substr(11);
+    }
+  }
+  if (scenario == "partition") return run_partition(quick);
+  return run_crash(quick);
 }

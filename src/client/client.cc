@@ -170,6 +170,10 @@ void Client::on_message(NetAddr from, MessagePtr msg) {
     trace_rec_.failed = !reply.success;
     tracer_->complete(trace_rec_, sim_.now());
   }
+  if (reply.epoch > last_epoch_) {
+    last_epoch_ = reply.epoch;
+    locations_.clear();
+  }
   locations_.learn(reply.hints);
 
   schedule_next();

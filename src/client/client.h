@@ -95,6 +95,11 @@ class Client final : public NetEndpoint {
   TraceCollector* tracer_ = nullptr;
   TraceRecord trace_rec_;
 
+  /// Highest partition-map epoch seen in replies. A jump means the
+  /// cluster reconfigured (takeover or partition heal): learned locations
+  /// may point at superseded authorities, so the cache is flushed.
+  /// Starts at 1 — healthy runs never see a jump and never flush.
+  std::uint64_t last_epoch_ = 1;
   std::uint64_t next_req_id_ = 1;
   std::uint64_t inflight_req_ = 0;  // 0 = idle
   SimTime issued_at_ = 0;

@@ -35,6 +35,10 @@ class LocationCache {
   std::size_t size() const { return hints_.size(); }
   const LocationHint* hint_for(InodeId ino) const;
 
+  /// Drop everything (the cluster told us its authority layout was
+  /// reconfigured; per-item invalidation is not worth modeling).
+  void clear() { hints_.clear(); }
+
  private:
   std::size_t capacity_;
   std::unordered_map<InodeId, LocationHint> hints_;

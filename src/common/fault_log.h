@@ -33,6 +33,19 @@ struct FaultIncident {
   bool has(SimTime t) const { return t != kUnset; }
 };
 
+/// A node losing (and possibly regaining) its authority lease: the span
+/// it spent self-fenced — not serving writes — because it could not hear
+/// a quorum. Distinct from FaultIncident: the process is up the whole
+/// time; the network partitioned it away.
+struct FenceIncident {
+  static constexpr SimTime kUnset = FaultIncident::kUnset;
+
+  MdsId node = kInvalidMds;
+  SimTime fenced_at = kUnset;
+  SimTime unfenced_at = kUnset;
+  bool open = true;
+};
+
 class FaultLog {
  public:
   void note_crash(MdsId node, SimTime now) {
@@ -77,23 +90,54 @@ class FaultLog {
     maybe_close(*inc);
   }
 
-  const std::vector<FaultIncident>& incidents() const { return incidents_; }
+  void note_fenced(MdsId node, SimTime now) {
+    if (open_fence(node) != nullptr) return;
+    FenceIncident f;
+    f.node = node;
+    f.fenced_at = now;
+    fences_.push_back(f);
+  }
 
-  /// Crash -> first survivor detection.
-  Summary detection_latency_seconds() const {
+  void note_unfenced(MdsId node, SimTime now) {
+    FenceIncident* f = open_fence(node);
+    if (f == nullptr) return;
+    f->unfenced_at = now;
+    f->open = false;
+  }
+
+  const std::vector<FaultIncident>& incidents() const { return incidents_; }
+  const std::vector<FenceIncident>& fence_incidents() const { return fences_; }
+
+  /// Crash -> first survivor detection. `asof` (usually the run end)
+  /// right-censors incidents whose end milestone never happened: a crash
+  /// that was *never* detected still contributes `asof - crashed_at`
+  /// instead of silently vanishing from the summary.
+  Summary detection_latency_seconds(SimTime asof) const {
     return span([](const FaultIncident& i) { return i.detected_at; },
-                [](const FaultIncident& i) { return i.crashed_at; });
+                [](const FaultIncident& i) { return i.crashed_at; }, asof);
   }
   /// Crash -> delegations redistributed: the window in which the dead
   /// node's territory has no authority at all.
-  Summary unavailability_seconds() const {
+  Summary unavailability_seconds(SimTime asof) const {
     return span([](const FaultIncident& i) { return i.takeover_at; },
-                [](const FaultIncident& i) { return i.crashed_at; });
+                [](const FaultIncident& i) { return i.crashed_at; }, asof);
   }
   /// Restart -> journal replay finished (the node serves again).
-  Summary recovery_time_seconds() const {
+  Summary recovery_time_seconds(SimTime asof) const {
     return span([](const FaultIncident& i) { return i.rejoined_at; },
-                [](const FaultIncident& i) { return i.restarted_at; });
+                [](const FaultIncident& i) { return i.restarted_at; }, asof);
+  }
+
+  /// Total seconds nodes spent self-fenced (minority-side write stall).
+  /// Still-open fences are censored at `asof`.
+  double minority_stall_seconds(SimTime asof) const {
+    double total = 0.0;
+    for (const FenceIncident& f : fences_) {
+      const SimTime end = f.open ? asof : f.unfenced_at;
+      if (end == FenceIncident::kUnset || end < f.fenced_at) continue;
+      total += to_seconds(end - f.fenced_at);
+    }
+    return total;
   }
 
  private:
@@ -112,18 +156,32 @@ class FaultLog {
     return nullptr;
   }
 
+  FenceIncident* open_fence(MdsId node) {
+    for (auto it = fences_.rbegin(); it != fences_.rend(); ++it) {
+      if (it->node == node && it->open) return &*it;
+    }
+    return nullptr;
+  }
+
   template <typename End, typename Begin>
-  Summary span(End end, Begin begin) const {
+  Summary span(End end, Begin begin, SimTime asof) const {
     Summary s;
     for (const FaultIncident& i : incidents_) {
-      const SimTime e = end(i), b = begin(i);
-      if (!i.has(e) || !i.has(b) || e < b) continue;
+      SimTime e = end(i);
+      const SimTime b = begin(i);
+      if (!i.has(b)) continue;  // milestone chain never started: nothing
+      // Right-censor: the end milestone hadn't happened by `asof` (the
+      // incident ran past the end of the run). Report the observed lower
+      // bound rather than dropping the incident from the summary.
+      if (!i.has(e)) e = asof;
+      if (e == FaultIncident::kUnset || e < b) continue;
       s.add(to_seconds(e - b));
     }
     return s;
   }
 
   std::vector<FaultIncident> incidents_;
+  std::vector<FenceIncident> fences_;
 };
 
 }  // namespace mdsim

@@ -18,6 +18,18 @@ FaultPlan& FaultPlan::flaky_link(SimTime from, SimTime until, NetAddr a,
   return *this;
 }
 
+FaultPlan& FaultPlan::partition(SimTime from, SimTime until,
+                                std::vector<std::vector<NetAddr>> groups) {
+  partitions_.push_back(PartitionAction{from, until, std::move(groups)});
+  return *this;
+}
+
+FaultPlan& FaultPlan::cut_link(SimTime from, SimTime until, NetAddr src,
+                               NetAddr dst) {
+  cuts_.push_back(CutAction{from, until, src, dst});
+  return *this;
+}
+
 void FaultPlan::arm(ClusterSim& cluster) const {
   Simulation& sim = cluster.sim();
   for (const CrashAction& c : crashes_) {
@@ -37,6 +49,24 @@ void FaultPlan::arm(ClusterSim& cluster) const {
     sim.schedule_at(l.until, [&cluster, a = l.a, b = l.b]() {
       cluster.network().clear_link_fault(a, b);
     });
+  }
+  for (const PartitionAction& p : partitions_) {
+    sim.schedule_at(p.from, [&cluster, groups = p.groups]() {
+      cluster.network().partition(groups);
+    });
+    if (p.until > p.from) {
+      sim.schedule_at(p.until, [&cluster]() { cluster.network().heal(); });
+    }
+  }
+  for (const CutAction& c : cuts_) {
+    sim.schedule_at(c.from, [&cluster, src = c.src, dst = c.dst]() {
+      cluster.network().cut_link(src, dst);
+    });
+    if (c.until > c.from) {
+      sim.schedule_at(c.until, [&cluster, src = c.src, dst = c.dst]() {
+        cluster.network().restore_link(src, dst);
+      });
+    }
   }
 }
 

@@ -29,12 +29,25 @@ class FaultPlan {
   FaultPlan& flaky_link(SimTime from, SimTime until, NetAddr a, NetAddr b,
                         const LinkFault& fault);
 
+  /// Split the network into `groups` at `from` (see Network::partition)
+  /// and heal it at `until`. `until <= from` means the partition never
+  /// heals within the run. Only one partition is active at a time; a
+  /// later partition action replaces the earlier grouping.
+  FaultPlan& partition(SimTime from, SimTime until,
+                       std::vector<std::vector<NetAddr>> groups);
+
+  /// Sever the directed src->dst link at `from`, restore it at `until`
+  /// (`until <= from` = never). Composable: several cuts model
+  /// asymmetric or flapping connectivity.
+  FaultPlan& cut_link(SimTime from, SimTime until, NetAddr src, NetAddr dst);
+
   /// Schedule every scripted action on the cluster's simulation clock.
   /// The cluster must outlive the run; call once.
   void arm(ClusterSim& cluster) const;
 
   bool empty() const {
-    return crashes_.empty() && restarts_.empty() && links_.empty();
+    return crashes_.empty() && restarts_.empty() && links_.empty() &&
+           partitions_.empty() && cuts_.empty();
   }
 
  private:
@@ -55,9 +68,23 @@ class FaultPlan {
     LinkFault fault;
   };
 
+  struct PartitionAction {
+    SimTime from;
+    SimTime until;
+    std::vector<std::vector<NetAddr>> groups;
+  };
+  struct CutAction {
+    SimTime from;
+    SimTime until;
+    NetAddr src;
+    NetAddr dst;
+  };
+
   std::vector<CrashAction> crashes_;
   std::vector<RestartAction> restarts_;
   std::vector<LinkAction> links_;
+  std::vector<PartitionAction> partitions_;
+  std::vector<CutAction> cuts_;
 };
 
 }  // namespace mdsim

@@ -71,22 +71,37 @@ class Metrics {
   // --- failure lifecycle ---------------------------------------------------
   void set_fault_log(const FaultLog* log) { faults_ = log; }
   const FaultLog* fault_log() const { return faults_; }
-  /// Crash -> first survivor declaring it dead, per incident.
+  /// Crash -> first survivor declaring it dead, per incident. Incidents
+  /// still open at the current sim time are right-censored at `now()`
+  /// rather than silently dropped.
   Summary detection_latency_seconds() const {
-    return faults_ != nullptr ? faults_->detection_latency_seconds()
+    return faults_ != nullptr ? faults_->detection_latency_seconds(asof())
                               : Summary{};
   }
   /// Crash -> delegations redistributed (the unavailability window for
   /// the dead node's territory).
   Summary unavailability_seconds() const {
-    return faults_ != nullptr ? faults_->unavailability_seconds() : Summary{};
+    return faults_ != nullptr ? faults_->unavailability_seconds(asof())
+                              : Summary{};
   }
   /// Restart -> journal replay done (cache warm, serving at speed).
   Summary recovery_time_seconds() const {
-    return faults_ != nullptr ? faults_->recovery_time_seconds() : Summary{};
+    return faults_ != nullptr ? faults_->recovery_time_seconds(asof())
+                              : Summary{};
+  }
+  /// Total node-seconds spent self-fenced (partition write stall).
+  double minority_stall_seconds() const {
+    return faults_ != nullptr ? faults_->minority_stall_seconds(asof()) : 0.0;
   }
 
  private:
+  /// Censoring horizon for open incidents: the current sim time, or
+  /// "never" when no simulation is attached (open incidents drop, as the
+  /// standalone-Metrics unit tests expect).
+  SimTime asof() const {
+    return sim_ != nullptr ? sim_->now() : FaultIncident::kUnset;
+  }
+
   std::vector<MdsNode*> nodes_;
   std::vector<Client*> clients_;
   const Simulation* sim_ = nullptr;

@@ -66,16 +66,33 @@ void MdsNode::heartbeat_tick() {
   if (failed_) return;  // a dead node is silent; survivors notice
   last_load_ = compute_load();
   peer_loads_[static_cast<std::size_t>(id_)] = last_load_;
+  // Alive-mask: who this node currently hears. Receivers listed in it
+  // count the heartbeat as a lease ack (partition safety); built once,
+  // shared read-only by every per-peer message.
+  std::vector<std::uint64_t> alive_mask;
+  if (partition_safety_on()) {
+    alive_mask.assign((static_cast<std::size_t>(ctx_.num_mds) + 63) / 64, 0);
+    for (MdsId peer = 0; peer < ctx_.num_mds; ++peer) {
+      if (peer != id_ && peer_alive_[static_cast<std::size_t>(peer)] == 0)
+        continue;
+      alive_mask[static_cast<std::size_t>(peer) / 64] |=
+          std::uint64_t{1} << (static_cast<std::size_t>(peer) % 64);
+    }
+  }
   for (MdsId peer = 0; peer < ctx_.num_mds; ++peer) {
     if (peer == id_) continue;
     auto msg = std::make_unique<HeartbeatMsg>();
     msg->sender = id_;
     msg->load = last_load_;
+    msg->epoch = view_epoch_;
+    msg->alive_mask = alive_mask;
     ctx_.net.send(id_, peer, std::move(msg));
   }
   maybe_unreplicate();
   failure_tick(ctx_.sim.now());
-  maybe_rebalance();
+  // A fenced node keeps heartbeating (so the quorum side can mark it up
+  // on heal) but must not initiate migrations.
+  if (!fenced_) maybe_rebalance();
 }
 
 void MdsNode::handle_heartbeat(const HeartbeatMsg& m) {
@@ -83,6 +100,13 @@ void MdsNode::handle_heartbeat(const HeartbeatMsg& m) {
     return;
   const auto idx = static_cast<std::size_t>(m.sender);
   peer_last_hb_[idx] = ctx_.sim.now();
+  // Lease ack: the sender still hears us. Merely receiving its heartbeat
+  // is not enough — under an asymmetric cut (our outbound dead, inbound
+  // alive) the sender will soon drop us from its mask, and our lease must
+  // lapse with it.
+  if (m.lists_alive(id_)) peer_ack_time_[idx] = ctx_.sim.now();
+  // Epoch gossip: adopt a newer map view (no-op while fenced).
+  observe_epoch(m.epoch);
   if (peer_alive_[idx] == 0) {
     // First heartbeat after an outage (or a false detection): the peer is
     // back — restore it as a migration and forwarding target.

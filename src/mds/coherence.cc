@@ -32,6 +32,7 @@ void MdsNode::invalidate_replicas(InodeId ino, bool removed) {
     auto msg = std::make_unique<CacheInvalidateMsg>();
     msg->ino = ino;
     msg->removed = removed;
+    msg->epoch = view_epoch_;
     ++stats_.invalidations_sent;
     ctx_.net.send(id_, holder, std::move(msg));
   }
@@ -41,6 +42,12 @@ void MdsNode::invalidate_replicas(InodeId ino, bool removed) {
 }
 
 void MdsNode::handle_invalidate(const CacheInvalidateMsg& m) {
+  if (m.epoch < view_epoch_) {
+    // Coherence traffic from a superseded regime (a sender fenced across a
+    // reconfiguration): its authority claims are stale — ignore.
+    ++stats_.stale_epoch_rejects;
+    return;
+  }
   if (EntryAux* a = cache_.aux_peek(m.ino)) {
     a->replicated_everywhere = false;
     cache_.aux_gc(m.ino);

@@ -15,9 +15,13 @@ MdsNode::MdsNode(ClusterContext& ctx, MdsId id)
                [this](InodeId ino) { queue_writeback(ino); }),
       peer_loads_(static_cast<std::size_t>(ctx.num_mds), 0.0),
       peer_alive_(static_cast<std::size_t>(ctx.num_mds), 1),
-      peer_last_hb_(static_cast<std::size_t>(ctx.num_mds), 0) {
+      peer_last_hb_(static_cast<std::size_t>(ctx.num_mds), 0),
+      peer_ack_time_(static_cast<std::size_t>(ctx.num_mds), 0) {
   cache_.set_evict_callback(
       [this](const CacheEntry& e) { on_cache_evict(e); });
+  // Epoch/lease machinery only applies to explicit subtree delegation.
+  subtree_map_ = dynamic_cast<SubtreePartition*>(&ctx.partition);
+  if (subtree_map_ != nullptr) view_epoch_ = subtree_map_->epoch();
 }
 
 MdsNode::~MdsNode() = default;
@@ -49,6 +53,16 @@ MdsId MdsNode::authority_for(const FsNode* node) const {
   if (ctx_.traits.dynamic_dirfrag && node->parent() != nullptr &&
       ctx_.dirfrag.is_fragmented(node->parent()->ino())) {
     return ctx_.dirfrag.dentry_authority(node->parent()->ino(), node->name());
+  }
+  return map_authority(node);
+}
+
+MdsId MdsNode::map_authority(const FsNode* node) const {
+  // The shared map object models converged cluster knowledge; a node whose
+  // view epoch lags (fenced across a partition, or a reconfiguration it
+  // has not heard of yet) resolves against the map as of its own epoch.
+  if (subtree_map_ != nullptr && view_epoch_ != subtree_map_->epoch()) {
+    return subtree_map_->authority_of_at(node, view_epoch_);
   }
   return ctx_.partition.authority_of(node);
 }
@@ -161,6 +175,20 @@ void MdsNode::on_message(NetAddr from, MessagePtr msg) {
 // --------------------------------------------------------------------------
 
 void MdsNode::handle_client_request(ClientRequestMsg msg, NetAddr reply_to) {
+  // Duplicate-delivery idempotence: a network-duplicated update must not
+  // apply twice. Client req_ids are per-client monotone and every retry
+  // re-issues under a fresh id, so an id at or below the per-client
+  // high-water mark is an exact duplicate of a request this node already
+  // accepted — drop it (the original's reply is on its way; reads are
+  // naturally idempotent and skip the check).
+  if (op_is_update(msg.op) && msg.client_addr != kInvalidAddr) {
+    auto [it, inserted] = seen_update_req_.try_emplace(msg.client_addr, 0);
+    if (!inserted && msg.req_id <= it->second) {
+      ++stats_.duplicate_updates_dropped;
+      return;
+    }
+    it->second = msg.req_id;
+  }
   ++stats_.requests_received;
   if (msg.hops == 0) stats_.request_rate.add();
   // Close the link segment: client -> here (first hop) or peer -> here.
@@ -208,6 +236,16 @@ void MdsNode::route(RequestPtr req) {
   if (subtree_frozen(req->target)) {
     // Mid-migration: hold the request until the double-commit resolves.
     defer(std::move(req));
+    return;
+  }
+
+  if (fenced_ && op_is_update(m.op)) {
+    // Lease lost: this node may no longer durably order writes — not even
+    // absorb them at a replica. Park until the lease renews (the client
+    // will usually time out and retry toward the quorum side first).
+    // Reads fall through: serving possibly-stale reads is the availability
+    // the paper's replication model already accepts.
+    park(std::move(req));
     return;
   }
 
@@ -395,6 +433,13 @@ void MdsNode::serve_target(RequestPtr req) {
 
 void MdsNode::apply_update(RequestPtr req) {
   ClientRequestMsg& m = req->msg;
+  if (fenced_) {
+    // Backstop for requests already past route() when the fence dropped
+    // (queued behind CPU/disk): nothing is acknowledged without a lease.
+    unpin_all(req);
+    park(std::move(req));
+    return;
+  }
   const SimTime now = ctx_.sim.now();
   bool ok = false;
   InodeId result = kInvalidInode;
@@ -485,6 +530,7 @@ void MdsNode::apply_update(RequestPtr req) {
             auto inv = std::make_unique<CacheInvalidateMsg>();
             inv->ino = node->ino();
             inv->whole_subtree = true;
+            inv->epoch = view_epoch_;
             ++stats_.invalidations_sent;
             ctx_.net.send(id_, peer, std::move(inv));
           }
@@ -492,6 +538,7 @@ void MdsNode::apply_update(RequestPtr req) {
           CacheInvalidateMsg self_inv;
           self_inv.ino = node->ino();
           self_inv.whole_subtree = true;
+          self_inv.epoch = view_epoch_;
           handle_invalidate(self_inv);
         }
       } else {
@@ -597,6 +644,7 @@ void MdsNode::reply(RequestPtr req, bool success, InodeId result_ino) {
   out->served_by = id_;
   out->hops = req->msg.hops;
   out->result_ino = result_ino;
+  out->epoch = view_epoch_;
   if (success) out->hints = build_hints(req);
   ++stats_.replies_sent;
   stats_.reply_rate.add();
@@ -675,6 +723,15 @@ void MdsNode::clear_cache_for_rejoin() {
   replica_fetch_deadline_.clear();
   attr_waiters_.clear();
   cache_.clear_fetch_waiters();
+  parked_.clear();
+  pending_takeover_.clear();
+  seen_update_req_.clear();
+  inbound_done_.clear();
+}
+
+void MdsNode::park(RequestPtr req) {
+  ++stats_.writes_parked_fenced;
+  parked_.push_back(std::move(req));
 }
 
 bool MdsNode::migrate_subtree(FsNode* root, MdsId target) {

@@ -93,6 +93,16 @@ struct MdsStats {
   std::uint64_t attr_flushes_applied = 0; // delta batches applied as auth
   std::uint64_t attr_callbacks = 0;       // reads that called deltas in
 
+  // Partition tolerance (leases, epochs, quorum takeover).
+  std::uint64_t fence_events = 0;           // lease expiries (self-fencing)
+  std::uint64_t unfence_events = 0;         // lease renewals after a fence
+  std::uint64_t writes_parked_fenced = 0;   // updates parked while fenced
+  std::uint64_t stale_epoch_rejects = 0;    // old-regime messages refused
+  std::uint64_t takeovers_deferred = 0;     // grace/quorum stalled a sweep
+  std::uint64_t reconcile_dropped_items = 0; // cache items shed on rejoin
+  std::uint64_t duplicate_updates_dropped = 0;  // request-id dedup hits
+  std::uint64_t duplicate_prepares_dropped = 0; // migration dedup hits
+
   // Windowed rates, sampled by the metrics collector.
   IntervalRate reply_rate;
   IntervalRate forward_rate;
@@ -178,6 +188,21 @@ class MdsNode final : public NetEndpoint {
     return peer >= 0 && static_cast<std::size_t>(peer) < peer_alive_.size() &&
            peer_alive_[static_cast<std::size_t>(peer)] != 0;
   }
+  // ---- partition tolerance (recovery.cc) ----------------------------------
+  /// Lease lost: writes are parked, migrations refused, reads served stale.
+  bool fenced() const { return fenced_; }
+  /// This node's partition-map view epoch (frozen while fenced).
+  std::uint64_t view_epoch() const { return view_epoch_; }
+  /// Adopt a newer map epoch (takeover coordinator's MDSMap-style
+  /// broadcast; also gossiped on heartbeats). Fenced nodes ignore it —
+  /// their view stays frozen until heal-time reconciliation.
+  void observe_epoch(std::uint64_t epoch) {
+    if (!fenced_ && epoch > view_epoch_) view_epoch_ = epoch;
+  }
+  /// Update requests parked by the fence (tests).
+  std::size_t parked_requests() const { return parked_.size(); }
+  /// Takeovers waiting out the grace period (tests).
+  std::size_t pending_takeovers() const { return pending_takeover_.size(); }
   /// A double-commit transaction is in flight (tests).
   bool migrating() const {
     return outbound_ != nullptr || inbound_ != nullptr;
@@ -337,6 +362,30 @@ class MdsNode final : public NetEndpoint {
   /// id; a no-op if another coordinator already handled it.
   void take_over_failed_peer(MdsId dead);
 
+  // ---- partition tolerance (recovery.cc) -----------------------------------
+  /// Lease/quorum machinery is active only where it can work: subtree
+  /// strategies with heartbeats and enough nodes for a strict majority.
+  bool partition_safety_on() const {
+    return subtree_map_ != nullptr && ctx_.params.partition_safety &&
+           ctx_.params.failure_detection && ctx_.traits.load_balancing &&
+           ctx_.num_mds >= 3;
+  }
+  /// Peers whose latest heard heartbeat (within the lease window) listed
+  /// us alive, plus self. A strict majority keeps the lease.
+  int quorum_ackers(SimTime now) const;
+  void evaluate_lease(SimTime now);
+  void fence();
+  void unfence_and_reconcile();
+  /// Executed on the watchdog: cancel takeovers whose peer came back,
+  /// then — quorum permitting, grace elapsed, lowest live id — re-delegate.
+  void sweep_pending_takeovers(SimTime now);
+  /// Park an update while fenced (re-routed on unfence).
+  void park(RequestPtr req);
+  /// Authority as this node sees it: the shared map, unless our view is
+  /// behind (fenced or not-yet-gossiped), in which case the map as of our
+  /// frozen epoch.
+  MdsId map_authority(const FsNode* node) const;
+
   // ---- traffic control (traffic_control.cc) ---------------------------------
   void note_popularity(RequestPtr req);
   void maybe_replicate(FsNode* node, CacheEntry* entry);
@@ -427,6 +476,28 @@ class MdsNode final : public NetEndpoint {
   // dead peer from silence; the first heartbeat heard marks it back up).
   std::vector<std::uint8_t> peer_alive_;
   std::vector<SimTime> peer_last_hb_;
+
+  // Partition tolerance. The subtree map (null for hash strategies), this
+  // node's frozen-while-fenced view of its epoch, and the authority lease:
+  // peer_ack_time_[p] is the last time peer p's heartbeat listed us alive.
+  SubtreePartition* subtree_map_ = nullptr;
+  std::uint64_t view_epoch_ = 1;
+  bool fenced_ = false;
+  std::vector<SimTime> peer_ack_time_;
+  /// Updates parked while fenced; re-routed when the lease renews.
+  std::deque<RequestPtr> parked_;
+  /// Detected-down peers awaiting quorum-gated takeover: peer -> earliest
+  /// re-delegation time (detection + takeover_grace).
+  std::unordered_map<MdsId, SimTime> pending_takeover_;
+  /// Duplicate-delivery dedup: highest update req_id seen per client
+  /// address (ids are per-client monotone and retries re-issue under
+  /// fresh ids, so an id at or below the high-water mark is an exact
+  /// network duplicate). Checked only at network entry, so internal
+  /// re-routing (deferred / parked requests) is never miscounted.
+  std::unordered_map<NetAddr, std::uint64_t> seen_update_req_;
+  /// Highest resolved inbound migration id per exporter (dedup for
+  /// duplicated prepares arriving after the migration finished).
+  std::unordered_map<MdsId, std::uint64_t> inbound_done_;
 
   // Replica fetches with a grant outstanding: ino -> give-up deadline.
   // Swept on the heartbeat; entries are erased when the grant arrives.

@@ -67,6 +67,9 @@ struct ClientReplyMsg final : Message {
   std::uint8_t hops = 0;
   /// Inode created/affected (so the client can learn about new items).
   InodeId result_ino = kInvalidInode;
+  /// Server's partition-map epoch. A jump tells the client the authority
+  /// layout was reconfigured (takeover/heal): drop learned locations.
+  std::uint64_t epoch = 1;
   std::vector<LocationHint> hints;
 };
 
@@ -112,6 +115,9 @@ struct CacheInvalidateMsg final : Message {
   /// (their position — and under hashing, their location — changed).
   bool whole_subtree = false;
   std::uint64_t version = 0;
+  /// Sender's map epoch; receivers drop invalidations from a superseded
+  /// regime (a fenced node's coherence traffic must not land).
+  std::uint64_t epoch = 1;
 };
 
 /// Periodic load exchange for the balancer (paper section 4.3).
@@ -120,6 +126,18 @@ struct HeartbeatMsg final : Message {
   MessagePtr clone() const override { return std::make_unique<HeartbeatMsg>(*this); }
   MdsId sender = kInvalidMds;
   double load = 0.0;
+  /// Sender's partition-map view epoch (gossiped; receivers adopt the max).
+  std::uint64_t epoch = 1;
+  /// Bitmask of nodes the sender currently believes alive (bit i of word
+  /// i/64 = MDS i). A receiver renews its authority lease only on
+  /// heartbeats whose mask lists it — under an asymmetric cut, hearing
+  /// the majority is not enough; the majority must still be hearing *us*.
+  std::vector<std::uint64_t> alive_mask;
+  bool lists_alive(MdsId id) const {
+    const auto w = static_cast<std::size_t>(id) / 64;
+    return w < alive_mask.size() &&
+           (alive_mask[w] >> (static_cast<std::size_t>(id) % 64)) & 1u;
+  }
 };
 
 /// Double-commit subtree migration (paper section 4.3): prepare carries
@@ -129,6 +147,9 @@ struct MigratePrepareMsg final : Message {
   MessagePtr clone() const override { return std::make_unique<MigratePrepareMsg>(*this); }
   std::uint64_t migration_id = 0;
   InodeId subtree_root = kInvalidInode;
+  /// Exporter's map epoch when the migration was proposed; importers
+  /// reject prepares from a superseded regime.
+  std::uint64_t epoch = 1;
   /// Cached items transferred (ids; resolved at the importer). Ordered
   /// parents-before-children so importer inserts preserve the cache tree
   /// invariant.
@@ -140,6 +161,8 @@ struct MigrateAckMsg final : Message {
   MessagePtr clone() const override { return std::make_unique<MigrateAckMsg>(*this); }
   std::uint64_t migration_id = 0;
   bool accepted = true;
+  /// Importer's map epoch; the exporter ignores acks from an old regime.
+  std::uint64_t epoch = 1;
 };
 
 struct MigrateCommitMsg final : Message {

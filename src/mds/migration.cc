@@ -52,6 +52,7 @@ void MdsNode::flush_deferred() {
 
 void MdsNode::begin_migration(FsNode* root, MdsId target) {
   assert(outbound_ == nullptr);
+  if (fenced_) return;  // no lease, no authority transfers
   // Collect cached authoritative state under the subtree, parents first so
   // the importer's inserts respect its cache tree invariant.
   std::vector<CacheEntry*> collected;
@@ -79,6 +80,7 @@ void MdsNode::begin_migration(FsNode* root, MdsId target) {
   auto msg = std::make_unique<MigratePrepareMsg>();
   msg->migration_id = outbound_->id;
   msg->subtree_root = outbound_->root;
+  msg->epoch = view_epoch_;
   msg->items = outbound_->items;
   msg->size_bytes =
       static_cast<std::uint32_t>(64 + 48 * outbound_->items.size());
@@ -109,14 +111,35 @@ void MdsNode::handle_migrate_prepare(NetAddr from, const MigratePrepareMsg& m) {
     auto ack = std::make_unique<MigrateAckMsg>();
     ack->migration_id = mig_id;
     ack->accepted = accepted;
+    ack->epoch = view_epoch_;
     ctx_.net.send(id_, exporter, std::move(ack));
   };
 
+  if (m.epoch < view_epoch_) {
+    // Proposed under a superseded regime (the exporter was fenced across a
+    // reconfiguration, or the prepare crossed an epoch bump in flight).
+    // Refusing is always safe: the map has not flipped for this id.
+    ++stats_.stale_epoch_rejects;
+    send_ack(false);
+    return;
+  }
+  if (fenced_) {
+    send_ack(false);  // cannot accept authority without a lease
+    return;
+  }
   if (inbound_ != nullptr) {
     if (inbound_->id == mig_id && inbound_->exporter == exporter) {
       return;  // duplicate prepare (network duplication); already installing
     }
     send_ack(false);  // one inbound transaction at a time
+    return;
+  }
+  if (auto it = inbound_done_.find(exporter);
+      it != inbound_done_.end() && mig_id <= it->second) {
+    // Duplicate of a migration already resolved (committed or rolled
+    // back). Re-installing would double-flip state; drop it — the
+    // exporter's side of id `mig_id` is long settled.
+    ++stats_.duplicate_prepares_dropped;
     return;
   }
 
@@ -142,10 +165,13 @@ void MdsNode::handle_migrate_prepare(NetAddr from, const MigratePrepareMsg& m) {
       auto ack = std::make_unique<MigrateAckMsg>();
       ack->migration_id = mig_id;
       ack->accepted = ok;
+      ack->epoch = view_epoch_;
       ctx_.net.send(id_, exporter, std::move(ack));
     };
     FsNode* root = ctx_.tree.by_ino(root_ino);
     if (root == nullptr) {
+      inbound_done_[inbound_->exporter] =
+          std::max(inbound_done_[inbound_->exporter], mig_id);
       inbound_.reset();
       send_ack(false);
       return;
@@ -160,6 +186,8 @@ void MdsNode::handle_migrate_prepare(NetAddr from, const MigratePrepareMsg& m) {
         [this, mig_id, items, root_ino, send_ack](CacheEntry* anchor) {
           if (inbound_ == nullptr || inbound_->id != mig_id) return;
           if (anchor == nullptr) {
+            inbound_done_[inbound_->exporter] =
+                std::max(inbound_done_[inbound_->exporter], mig_id);
             inbound_.reset();
             send_ack(false);
             return;
@@ -182,6 +210,12 @@ void MdsNode::handle_migrate_prepare(NetAddr from, const MigratePrepareMsg& m) {
 void MdsNode::handle_migrate_ack(NetAddr from, const MigrateAckMsg& m) {
   (void)from;
   if (outbound_ == nullptr || outbound_->id != m.migration_id) return;
+  if (m.epoch < view_epoch_) {
+    // An ack from a superseded regime must not drive the commit point;
+    // the watchdog resolves this transaction instead.
+    ++stats_.stale_epoch_rejects;
+    return;
+  }
   OutboundMigration mig = *outbound_;
   outbound_.reset();
   frozen_.erase(mig.root);
@@ -279,12 +313,14 @@ void MdsNode::abort_outbound_migration() {
 void MdsNode::resolve_inbound_migration() {
   if (inbound_ == nullptr) return;
   auto in = std::move(inbound_);
+  inbound_done_[in->exporter] = std::max(inbound_done_[in->exporter], in->id);
 
   // The shared partition map is the transaction's ground truth: the
-  // exporter flips it at the commit point and nowhere else.
+  // exporter flips it at the commit point and nowhere else. Resolved
+  // through this node's own view (map_authority): a fenced importer must
+  // judge with the knowledge it actually has, not the quorum side's.
   FsNode* root = ctx_.tree.by_ino(in->root);
-  const bool committed =
-      root != nullptr && ctx_.partition.authority_of(root) == id_;
+  const bool committed = root != nullptr && map_authority(root) == id_;
 
   if (committed) {
     ++stats_.migrations_in;

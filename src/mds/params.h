@@ -89,6 +89,27 @@ struct MdsParams {
   /// holders; if a flush is lost the read resumes with what it has.
   SimTime attr_gather_timeout = 2 * kSecond;
 
+  // --- Partition tolerance (leases, epochs, quorum takeover) --------------
+  /// Split-brain safety for subtree strategies: authority is held under a
+  /// renewable lease (renewed by heartbeats from peers that still list us
+  /// in their alive-mask), takeover is deferred by a grace period and
+  /// gated on a strict-majority quorum, and every failure-driven
+  /// reconfiguration bumps the partition-map epoch. Requires heartbeats
+  /// (load-balancing strategies) and at least 3 nodes; below that the
+  /// pre-lease immediate-takeover behaviour is kept.
+  bool partition_safety = true;
+  /// Authority lease duration. A node that has not been acked by a strict
+  /// majority within this window self-fences: it parks writes (reads are
+  /// still served stale) until the lease renews. Must be shorter than
+  /// detection horizon + takeover_grace so a minority node is fenced
+  /// before the majority re-delegates its subtrees.
+  SimTime authority_lease = 2 * kSecond;
+  /// Delay between declaring a peer dead and re-delegating its subtrees.
+  /// Covers the victim's lease expiry (see above) and rides out transient
+  /// suspicion: a peer that comes back within the grace (flapping link)
+  /// cancels the takeover instead of losing its territory.
+  SimTime takeover_grace = 4 * kSecond;
+
   // --- Traffic control (dynamic subtree only) ----------------------------
   bool traffic_control_enabled = true;
   /// Popularity (decayed requests/interval) above which an item/subtree is

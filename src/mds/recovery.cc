@@ -29,7 +29,9 @@
 namespace mdsim {
 
 void MdsNode::failure_tick(SimTime now) {
+  if (partition_safety_on()) evaluate_lease(now);
   if (ctx_.params.failure_detection) check_peer_liveness(now);
+  if (!pending_takeover_.empty()) sweep_pending_takeovers(now);
 
   // Double-commit watchdogs (migration.cc has the resolution logic).
   if (outbound_ != nullptr && now >= outbound_->deadline) {
@@ -102,10 +104,20 @@ void MdsNode::on_peer_detected_down(MdsId peer) {
     resolve_inbound_migration();
   }
 
-  // The lowest id that believes itself alive coordinates the takeover.
-  // Sweeping every dead peer (not just this one) covers a coordinator
-  // that died before acting: the next-lowest survivor redoes the sweep,
-  // and already-redistributed peers are skipped inside.
+  if (partition_safety_on()) {
+    // Quorum-gated takeover: don't re-delegate on first suspicion. Record
+    // the earliest re-delegation time; the watchdog sweep executes it once
+    // the grace has covered the victim's lease expiry — or cancels it if
+    // the peer comes back (flapping link, transient cut).
+    pending_takeover_.emplace(peer, now + ctx_.params.takeover_grace);
+    return;
+  }
+
+  // Legacy immediate path (2-node clusters, safety disabled): the lowest
+  // id that believes itself alive coordinates the takeover. Sweeping every
+  // dead peer (not just this one) covers a coordinator that died before
+  // acting: the next-lowest survivor redoes the sweep, and
+  // already-redistributed peers are skipped inside.
   MdsId coordinator = id_;
   for (MdsId i = 0; i < ctx_.num_mds; ++i) {
     if (i != id_ && peer_alive_[static_cast<std::size_t>(i)] == 0) continue;
@@ -116,6 +128,139 @@ void MdsNode::on_peer_detected_down(MdsId peer) {
   for (MdsId dead = 0; dead < ctx_.num_mds; ++dead) {
     if (dead == id_ || peer_alive_[static_cast<std::size_t>(dead)] != 0)
       continue;
+    take_over_failed_peer(dead);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Authority leases and quorum-gated takeover.
+//
+// The lease is renewed by *being heard*: every heartbeat carries the
+// sender's alive-mask, and a receiver records an ack only when the mask
+// lists it. A node partitioned away — or one whose outbound link is cut
+// while its inbound still works — stops accumulating acks, loses the
+// strict-majority quorum within authority_lease, and self-fences: writes
+// park, migrations are refused, reads are served (possibly stale). The
+// majority side waits out takeover_grace (which covers the victim's lease
+// expiry) before re-delegating, so at every instant at most one lease-valid
+// authority exists per subtree. On heal the fenced node's acks resume, the
+// lease renews, and it reconciles: adopt the current map epoch, shed
+// authoritative state the new regime assigned elsewhere, re-install from
+// its journal only what it still owns, and re-route the parked writes.
+// --------------------------------------------------------------------------
+
+int MdsNode::quorum_ackers(SimTime now) const {
+  int ackers = 1;  // self
+  for (MdsId peer = 0; peer < ctx_.num_mds; ++peer) {
+    if (peer == id_) continue;
+    if (now - peer_ack_time_[static_cast<std::size_t>(peer)] <=
+        ctx_.params.authority_lease) {
+      ++ackers;
+    }
+  }
+  return ackers;
+}
+
+void MdsNode::evaluate_lease(SimTime now) {
+  const bool quorum = 2 * quorum_ackers(now) > ctx_.num_mds;
+  if (!quorum && !fenced_) {
+    fence();
+  } else if (quorum && fenced_) {
+    unfence_and_reconcile();
+  }
+}
+
+void MdsNode::fence() {
+  fenced_ = true;
+  ++stats_.fence_events;
+  if (ctx_.faults != nullptr) ctx_.faults->note_fenced(id_, ctx_.sim.now());
+  // An export in flight cannot complete against the quorum side; give it
+  // up now (the map never flipped — rollback is clean on both ends).
+  if (outbound_ != nullptr) abort_outbound_migration();
+}
+
+void MdsNode::unfence_and_reconcile() {
+  fenced_ = false;
+  ++stats_.unfence_events;
+  if (ctx_.faults != nullptr) ctx_.faults->note_unfenced(id_, ctx_.sim.now());
+
+  const std::uint64_t map_epoch = subtree_map_->epoch();
+  const bool reconfigured = map_epoch != view_epoch_;
+  view_epoch_ = map_epoch;
+  if (reconfigured) {
+    // Epoch reconciliation: while we were fenced the quorum side
+    // re-delegated some (possibly all) of our territory. Discard the
+    // superseded authoritative state, children first so the cache tree
+    // invariant holds; replicas stay (coherence re-registers them as they
+    // are touched).
+    std::vector<const CacheEntry*> stale;
+    cache_.for_each([&](CacheEntry& e) {
+      if (e.authoritative && e.pins == 0 && authority_for(e.node) != id_) {
+        stale.push_back(&e);
+      }
+    });
+    std::sort(stale.begin(), stale.end(),
+              [](const CacheEntry* a, const CacheEntry* b) {
+                return a->node->depth() > b->node->depth();
+              });
+    std::uint64_t dropped = 0;
+    for (const CacheEntry* e : stale) {
+      const CacheEntry* cur = cache_.peek(e->node->ino());
+      if (cur == nullptr || cur->cached_children > 0) continue;
+      if (cache_.erase(e->node->ino())) ++dropped;
+    }
+    stats_.reconcile_dropped_items += dropped;
+
+    // Replay the journal only for subtrees we still own: the process
+    // never died, so this is a cheap re-install of anything the shed pass
+    // (or pressure while fenced) evicted from territory that is still
+    // ours under the new epoch.
+    for (InodeId ino : journal_.replay()) {
+      FsNode* n = ctx_.tree.by_ino(ino);
+      if (n == nullptr || authority_for(n) != id_) continue;
+      if (cache_.peek(ino) == nullptr) {
+        cache_insert_anchored(n, InsertKind::kDemand, /*authoritative=*/true);
+      }
+    }
+  }
+
+  // Writes parked by the fence re-enter the pipeline; under a new epoch
+  // most immediately forward to the authorities that superseded us.
+  std::deque<RequestPtr> parked;
+  parked.swap(parked_);
+  for (auto& req : parked) route(std::move(req));
+}
+
+void MdsNode::sweep_pending_takeovers(SimTime now) {
+  // Cancel takeovers whose peer came back within the grace (heartbeats
+  // marked it up again): transient suspicion must not cost territory.
+  for (auto it = pending_takeover_.begin(); it != pending_takeover_.end();) {
+    if (peer_alive_[static_cast<std::size_t>(it->first)] != 0) {
+      it = pending_takeover_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (pending_takeover_.empty()) return;
+
+  // A minority side never elects a coordinator: without a strict majority
+  // behind it, this node stalls (and is itself fenced or about to be).
+  if (fenced_ || 2 * quorum_ackers(now) <= ctx_.num_mds) {
+    ++stats_.takeovers_deferred;
+    return;
+  }
+  // Lowest id believed alive coordinates; everyone else holds its pending
+  // set as a backstop in case the coordinator dies before acting.
+  for (MdsId i = 0; i < id_; ++i) {
+    if (peer_alive_[static_cast<std::size_t>(i)] != 0) return;
+  }
+  std::vector<MdsId> ready;
+  for (const auto& [dead, eligible] : pending_takeover_) {
+    if (now >= eligible) ready.push_back(dead);
+  }
+  std::sort(ready.begin(), ready.end());  // deterministic order
+  for (MdsId dead : ready) {
+    pending_takeover_.erase(dead);
     take_over_failed_peer(dead);
   }
 }
@@ -135,6 +280,22 @@ void MdsNode::take_over_failed_peer(MdsId dead) {
   const auto delegations = subtree->delegations_of(dead);
   const bool owns_root = subtree->authority_of(ctx_.tree.root()) == dead;
   if (delegations.empty() && !owns_root) return;  // already taken over
+
+  if (partition_safety_on()) {
+    // Failure-driven reconfiguration: stamp the new assignments with a
+    // fresh epoch so traffic from the superseded regime (a fenced node
+    // that still believes itself authority) is recognizably stale, and
+    // push the new epoch to every node we can reach — the MDSMap-style
+    // broadcast. Fenced nodes ignore it (their view stays frozen until
+    // they reconcile); truly partitioned nodes simply would not have
+    // received it, which the shared map models via observe_epoch's gate.
+    view_epoch_ = subtree->bump_epoch();
+    for (MdsId peer = 0; peer < ctx_.num_mds; ++peer) {
+      if (peer == id_ || peer == dead) continue;
+      if (peer_alive_[static_cast<std::size_t>(peer)] == 0) continue;
+      ctx_.nodes[static_cast<std::size_t>(peer)]->observe_epoch(view_epoch_);
+    }
+  }
 
   std::vector<MdsId> heirs;
   std::size_t rr = 0;
@@ -184,6 +345,12 @@ void MdsNode::restart() {
   std::fill(peer_alive_.begin(), peer_alive_.end(), 1);
   std::fill(peer_last_hb_.begin(), peer_last_hb_.end(), now);
   std::fill(peer_loads_.begin(), peer_loads_.end(), 0.0);
+  std::fill(peer_ack_time_.begin(), peer_ack_time_.end(), now);
+  // A rebooting node fetches the current map from shared storage before
+  // serving (the same place it reads its journal), so it rejoins at the
+  // cluster's epoch rather than its pre-crash view.
+  fenced_ = false;
+  if (subtree_map_ != nullptr) view_epoch_ = subtree_map_->epoch();
   bal_prev_time_ = now;
   bal_prev_replies_ = stats_.replies_sent;
   bal_prev_misses_ = cache_.stats().misses;

@@ -29,7 +29,44 @@ NetAddr Network::attach(NetEndpoint* endpoint) {
   endpoints_.push_back(endpoint);
   down_.push_back(0);
   fifo_floor_.emplace_back();
+  if (partition_active_) side_.push_back(0);  // late joiners sit in group 0
   return static_cast<NetAddr>(endpoints_.size() - 1);
+}
+
+void Network::partition(const std::vector<std::vector<NetAddr>>& groups) {
+  side_.assign(endpoints_.size(), 0);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (NetAddr a : groups[g]) {
+      assert(a >= 0 && static_cast<std::size_t>(a) < side_.size());
+      side_[static_cast<std::size_t>(a)] = static_cast<std::uint16_t>(g);
+    }
+  }
+  partition_active_ = true;
+}
+
+void Network::heal() {
+  partition_active_ = false;
+  side_.clear();
+  cut_links_.clear();
+}
+
+void Network::cut_link(NetAddr from, NetAddr to) {
+  assert(from != to);
+  cut_links_.insert(directed_key(from, to));
+}
+
+void Network::restore_link(NetAddr from, NetAddr to) {
+  cut_links_.erase(directed_key(from, to));
+}
+
+bool Network::severed(NetAddr from, NetAddr to) const {
+  if (partition_active_ &&
+      side_[static_cast<std::size_t>(from)] !=
+          side_[static_cast<std::size_t>(to)]) {
+    return true;
+  }
+  return !cut_links_.empty() &&
+         cut_links_.count(directed_key(from, to)) != 0;
 }
 
 void Network::set_down(NetAddr addr, bool down) {
@@ -50,7 +87,13 @@ void Network::send(NetAddr from, NetAddr to, MessagePtr msg) {
   if (down_count_ != 0 &&
       (down_[static_cast<std::size_t>(from)] |
        down_[static_cast<std::size_t>(to)]) != 0) {
-    ++dropped_;
+    ++down_dropped_;
+    return;
+  }
+  // Partition / asymmetric cut. Like fault injection below, the boolean
+  // check is the whole healthy-path cost.
+  if ((partition_active_ || !cut_links_.empty()) && severed(from, to)) {
+    ++partition_dropped_;
     return;
   }
 
@@ -63,7 +106,6 @@ void Network::send(NetAddr from, NetAddr to, MessagePtr msg) {
     if (const LinkFault* f = link_fault(from, to)) {
       if (f->drop > 0 && fault_rng_.bernoulli(f->drop)) {
         ++fault_counters_.dropped;
-        ++dropped_;
         return;
       }
       if (f->duplicate > 0 && fault_rng_.bernoulli(f->duplicate)) {

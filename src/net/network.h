@@ -15,6 +15,7 @@
 #include <array>
 #include <cstdint>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/rng.h"
@@ -64,7 +65,32 @@ class Network {
     return addr >= 0 && static_cast<std::size_t>(addr) < down_.size() &&
            down_[static_cast<std::size_t>(addr)] != 0;
   }
-  std::uint64_t dropped_messages() const { return dropped_; }
+
+  /// Partition the fabric: endpoints in different groups cannot exchange
+  /// messages in either direction. Endpoints not listed in any group join
+  /// the first group (so "partition({{0,2,3},{1}})" isolates MDS 1 from
+  /// everyone, clients included). Calling again replaces the previous
+  /// partition; heal() removes it. Zero cost when no partition or cut is
+  /// active.
+  void partition(const std::vector<std::vector<NetAddr>>& groups);
+  void heal();
+  bool partitioned() const { return partition_active_; }
+
+  /// Directed (asymmetric) cut: messages from `from` to `to` are dropped;
+  /// the reverse direction is unaffected unless cut separately. Composes
+  /// with partition(); heal() clears cuts too.
+  void cut_link(NetAddr from, NetAddr to);
+  void restore_link(NetAddr from, NetAddr to);
+
+  /// Total messages lost in the fabric, and the attribution split: drops
+  /// at a downed endpoint, drops across a partition/cut boundary, and
+  /// drops from an installed link fault.
+  std::uint64_t dropped_messages() const {
+    return down_dropped_ + partition_dropped_ + fault_counters_.dropped;
+  }
+  std::uint64_t down_dropped() const { return down_dropped_; }
+  std::uint64_t partition_dropped() const { return partition_dropped_; }
+  std::uint64_t fault_dropped() const { return fault_counters_.dropped; }
 
   /// Install (or replace) a fault on the a<->b link; both directions are
   /// affected. Zero overhead for all other traffic, and none at all once
@@ -96,6 +122,12 @@ class Network {
     const std::uint32_t hi = static_cast<std::uint32_t>(a < b ? b : a);
     return (static_cast<std::uint64_t>(lo) << 32) | hi;
   }
+  static std::uint64_t directed_key(NetAddr from, NetAddr to) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from))
+            << 32) |
+           static_cast<std::uint32_t>(to);
+  }
+  bool severed(NetAddr from, NetAddr to) const;
 
   Simulation& sim_;
   NetworkParams params_;
@@ -104,10 +136,17 @@ class Network {
   std::vector<NetEndpoint*> endpoints_;
   std::vector<std::uint8_t> down_;
   std::size_t down_count_ = 0;
-  std::uint64_t dropped_ = 0;
+  std::uint64_t down_dropped_ = 0;
+  std::uint64_t partition_dropped_ = 0;
   std::array<std::uint64_t, kNumMsgTypes> counts_{};
   std::unordered_map<std::uint64_t, LinkFault> link_faults_;
   FaultCounters fault_counters_;
+  /// Partition state: side_[addr] is the endpoint's group while a
+  /// partition is active (unlisted endpoints sit in group 0).
+  bool partition_active_ = false;
+  std::vector<std::uint16_t> side_;
+  /// Directed cuts, keyed (from<<32)|to.
+  std::unordered_set<std::uint64_t> cut_links_;
   /// Earliest permissible delivery per (src,dst) to preserve FIFO order;
   /// row `from` is indexed by `to` and grown on first use.
   std::vector<std::vector<SimTime>> fifo_floor_;

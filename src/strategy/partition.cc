@@ -63,39 +63,90 @@ SubtreePartition::SubtreePartition(StrategyKind kind, int num_mds)
 MdsId SubtreePartition::authority_of(const FsNode* node) const {
   for (const FsNode* n = node; n != nullptr; n = n->parent()) {
     auto it = delegation_.find(n->ino());
-    if (it != delegation_.end()) return it->second;
+    if (it != delegation_.end()) {
+      const MdsId holder = it->second.back().mds;
+      if (holder != kInvalidMds) return holder;
+      // Tombstone: folded back into the enclosing delegation; keep walking.
+    }
   }
   return 0;  // root default: MDS 0 owns undelegated territory
+}
+
+MdsId SubtreePartition::authority_of_at(const FsNode* node,
+                                        std::uint64_t epoch) const {
+  for (const FsNode* n = node; n != nullptr; n = n->parent()) {
+    auto it = delegation_.find(n->ino());
+    if (it != delegation_.end()) {
+      const auto& recs = it->second;
+      for (auto r = recs.rbegin(); r != recs.rend(); ++r) {
+        if (r->epoch > epoch) continue;  // newer than the frozen view
+        if (r->mds != kInvalidMds) return r->mds;
+        break;  // visible tombstone: keep walking up
+      }
+    }
+  }
+  return 0;
 }
 
 MdsId SubtreePartition::delegate(const FsNode* subtree_root, MdsId to) {
   assert(to >= 0 && to < num_mds_);
   const MdsId prev = authority_of(subtree_root);
-  delegation_[subtree_root->ino()] = to;
+  auto& recs = delegation_[subtree_root->ino()];
+  if (!recs.empty() && recs.back().epoch == epoch_) {
+    recs.back().mds = to;
+  } else {
+    recs.push_back(Record{epoch_, to});
+  }
   nodes_[subtree_root->ino()] = subtree_root;
   return prev;
 }
 
 void SubtreePartition::undelegate(const FsNode* subtree_root) {
   if (subtree_root->parent() == nullptr) return;
-  delegation_.erase(subtree_root->ino());
-  nodes_.erase(subtree_root->ino());
+  auto it = delegation_.find(subtree_root->ino());
+  if (it == delegation_.end()) return;
+  auto& recs = it->second;
+  if (recs.back().epoch == epoch_) recs.pop_back();
+  if (recs.empty()) {
+    delegation_.erase(it);
+    nodes_.erase(subtree_root->ino());
+    return;
+  }
+  if (recs.back().mds != kInvalidMds) {
+    recs.push_back(Record{epoch_, kInvalidMds});
+  }
 }
 
 bool SubtreePartition::is_delegation_point(const FsNode* node) const {
-  return delegation_.count(node->ino()) != 0;
+  auto it = delegation_.find(node->ino());
+  return it != delegation_.end() && it->second.back().mds != kInvalidMds;
 }
 
 MdsId SubtreePartition::delegation_at(InodeId ino) const {
   auto it = delegation_.find(ino);
-  return it == delegation_.end() ? kInvalidMds : it->second;
+  return it == delegation_.end() ? kInvalidMds : it->second.back().mds;
 }
 
 std::vector<const FsNode*> SubtreePartition::delegations_of(MdsId mds) const {
   std::vector<const FsNode*> out;
-  for (const auto& [ino, holder] : delegation_) {
-    if (holder == mds) out.push_back(nodes_.at(ino));
+  for (const auto& [ino, recs] : delegation_) {
+    if (recs.back().mds == mds) out.push_back(nodes_.at(ino));
   }
+  return out;
+}
+
+std::size_t SubtreePartition::delegation_count() const {
+  std::size_t n = 0;
+  for (const auto& [ino, recs] : delegation_) {
+    if (recs.back().mds != kInvalidMds) ++n;
+  }
+  return n;
+}
+
+std::vector<const FsNode*> SubtreePartition::known_roots() const {
+  std::vector<const FsNode*> out;
+  out.reserve(nodes_.size());
+  for (const auto& [ino, node] : nodes_) out.push_back(node);
   return out;
 }
 
@@ -125,7 +176,7 @@ void SubtreePartition::initialize_by_hashing_top_dirs(const FsTree& tree,
     const MdsId mds =
         static_cast<MdsId>(n->path_hash() % static_cast<std::uint64_t>(
                                                 num_mds_));
-    delegation_[n->ino()] = mds;
+    delegation_[n->ino()] = {Record{epoch_, mds}};
     nodes_[n->ino()] = n;
   }
 }

@@ -77,6 +77,17 @@ class Partitioner {
 /// node = delegation point nearest to it on its parent chain. The root is
 /// always a delegation point. (Paper section 4.1: "delegations may be
 /// nested".)
+///
+/// The map carries a monotonically increasing *epoch* (Ceph MDSMap-style).
+/// Normal migrations record their delegations at the current epoch; a
+/// failure-driven reconfiguration (takeover, heal) bumps the epoch first,
+/// so each delegation point keeps a short history of (epoch, holder)
+/// records. A node whose view is frozen at an older epoch (a fenced
+/// minority-side MDS) resolves authority *as of its view* via
+/// authority_of_at(), which is what makes split-brain observable — and
+/// therefore testable — in the simulator even though the map object itself
+/// is shared. In healthy runs the epoch stays at 1 and every record vector
+/// has length 1.
 class SubtreePartition final : public Partitioner {
  public:
   SubtreePartition(StrategyKind kind, int num_mds);
@@ -84,8 +95,17 @@ class SubtreePartition final : public Partitioner {
   MdsId authority_of(const FsNode* node) const override;
   StrategyKind kind() const override { return kind_; }
 
-  /// Install/replace a delegation point. Returns the previous holder of
-  /// the subtree (its effective authority before this call).
+  /// Authority as seen by a node whose map view is frozen at `epoch`:
+  /// records newer than the view are invisible.
+  MdsId authority_of_at(const FsNode* node, std::uint64_t epoch) const;
+
+  /// Current map epoch (starts at 1) and the failure-driven bump.
+  std::uint64_t epoch() const { return epoch_; }
+  std::uint64_t bump_epoch() { return ++epoch_; }
+
+  /// Install/replace a delegation point (recorded at the current epoch).
+  /// Returns the previous holder of the subtree (its effective authority
+  /// before this call).
   MdsId delegate(const FsNode* subtree_root, MdsId to);
   /// Remove a delegation point, folding the subtree back into the
   /// enclosing delegation. No-op on the root.
@@ -95,7 +115,11 @@ class SubtreePartition final : public Partitioner {
 
   /// All delegation points currently assigned to `mds`, with their nodes.
   std::vector<const FsNode*> delegations_of(MdsId mds) const;
-  std::size_t delegation_count() const { return delegation_.size(); }
+  std::size_t delegation_count() const;
+
+  /// Every root that has ever been a delegation point (any epoch) — the
+  /// candidate set for single-authority invariant sweeps.
+  std::vector<const FsNode*> known_roots() const;
 
   /// Build the paper's initial partition: "hashing directories near the
   /// root of the hierarchy" — every directory at `depth` (children of the
@@ -105,9 +129,18 @@ class SubtreePartition final : public Partitioner {
   int num_mds() const { return num_mds_; }
 
  private:
+  /// One holder assignment; mds == kInvalidMds is a tombstone (the point
+  /// was undelegated at that epoch).
+  struct Record {
+    std::uint64_t epoch = 1;
+    MdsId mds = kInvalidMds;
+  };
+
   StrategyKind kind_;
   int num_mds_;
-  std::unordered_map<InodeId, MdsId> delegation_;
+  std::uint64_t epoch_ = 1;
+  /// Records per delegation point, epoch-ascending; the back() is current.
+  std::unordered_map<InodeId, std::vector<Record>> delegation_;
   std::unordered_map<InodeId, const FsNode*> nodes_;
 };
 

@@ -37,12 +37,15 @@ FaultPlan chaos_plan() {
   flaky.spike = 0.5;
   flaky.spike_latency = 20 * kMillisecond;
 
+  // Restarts land after the grace-delayed takeovers (~detect + 4s): a
+  // node that comes back while its takeover is still pending cancels it,
+  // and the incident-lifecycle assertions below expect takeovers to run.
   FaultPlan plan;
   plan.crash(8 * kSecond, 1, /*warm=*/true)
-      .restart(15 * kSecond, 1)
+      .restart(18 * kSecond, 1)
       .flaky_link(10 * kSecond, 12 * kSecond, 2, 3, flaky)
       .crash(18 * kSecond, 3, /*warm=*/false)
-      .restart(24 * kSecond, 3);
+      .restart(28 * kSecond, 3);
   return plan;
 }
 
@@ -154,8 +157,8 @@ TEST(Chaos, SameSeedSamePlanIsBitForBitReproducible) {
     const auto& fc = cluster.network().fault_counters();
     return std::make_tuple(
         tput, completed, failed, retries, stale, fc.dropped, fc.duplicated,
-        fc.spiked, cluster.fault_log().detection_latency_seconds().mean(),
-        cluster.fault_log().recovery_time_seconds().mean(),
+        fc.spiked, cluster.metrics().detection_latency_seconds().mean(),
+        cluster.metrics().recovery_time_seconds().mean(),
         cluster.metrics().total_replies());
   };
   const auto a = run();

@@ -104,8 +104,9 @@ TEST_F(RecoveryTest, ExporterDeadBeforeCommitPointRollsBackImporter) {
 
   // The importer resolves by timeout/detection: the map does not name it,
   // so it rolls the installed state back. The dead exporter's territory
-  // (including this subtree) is then taken over by the survivors.
-  run_for(8 * kSecond);
+  // (including this subtree) is then taken over by the survivors after
+  // the quorum-takeover grace.
+  run_for(12 * kSecond);
   EXPECT_EQ(cluster->mds(dst).stats().migrations_in, 0u);
   EXPECT_EQ(cluster->mds(dst).stats().migrations_rolled_back, 1u);
   const MdsId final_auth = cluster->mds(0).authority_for(home);
@@ -155,10 +156,10 @@ TEST_F(RecoveryTest, ImporterDeadAfterAckSurvivorsInheritSubtree) {
   // The importer dies right after the authority flipped to it.
   cluster->fail_mds(dst);
 
-  // Survivors detect the death and redistribute the importer's
-  // delegations — the freshly imported subtree included. Exactly one
-  // live authority remains.
-  run_for(8 * kSecond);
+  // Survivors detect the death and — after the takeover grace —
+  // redistribute the importer's delegations, the freshly imported
+  // subtree included. Exactly one live authority remains.
+  run_for(12 * kSecond);
   auto* subtree = dynamic_cast<SubtreePartition*>(&cluster->partition());
   ASSERT_NE(subtree, nullptr);
   EXPECT_TRUE(subtree->delegations_of(dst).empty());
@@ -182,7 +183,7 @@ TEST_F(RecoveryTest, RestartReplaysJournalWithRealDiskLatency) {
   ASSERT_GT(cluster->mds(src).journal().live_entries(), 0u);
 
   cluster->fail_mds(src);
-  run_for(6 * kSecond);  // detected + taken over
+  run_for(10 * kSecond);  // detected + grace elapsed + taken over
   const std::uint64_t reads_before = cluster->mds(src).disk().reads();
   cluster->recover_mds(src);
   EXPECT_TRUE(cluster->mds(src).recovering());

@@ -1,3 +1,7 @@
+// Namespace-partition *strategies* (static/dynamic subtree, dir/file
+// hash): how the metadata tree is divided among MDS nodes. Not to be
+// confused with test_net_partition.cc, which covers *network* partitions
+// (split fabric, fencing, quorum takeover).
 #include <gtest/gtest.h>
 
 #include <map>

@@ -42,6 +42,8 @@ class TestClient final : public NetEndpoint {
     return id;
   }
 
+  NetAddr addr() const { return addr_; }
+
   const ClientReplyMsg& last() const { return replies.back(); }
   const ClientReplyMsg* reply_for(std::uint64_t req_id) const {
     for (const auto& r : replies) {
