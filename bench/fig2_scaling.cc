@@ -18,9 +18,21 @@ int main(int argc, char** argv) {
          "paper: fig 2, section 5.3 (Performance and Scalability)");
 
   std::vector<int> sizes{2, 4, 8, 16, 32, 50};
-  if (argc > 1 && std::string(argv[1]) == "--quick") {
-    sizes = {2, 4, 8};
+  int shards = 1;
+  int threads = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      sizes = {2, 4, 8};
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      shards = std::atoi(arg.c_str() + 9);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads = std::atoi(arg.c_str() + 10);
+    }
   }
+  // --shards=1 (the default) is the classic single-engine path and
+  // reproduces the committed CSVs byte-for-byte; higher shard counts run
+  // the parallel engine, whose output is identical for every --threads.
 
   CsvWriter csv(csv_path("fig2_scaling"), /*echo_stdout=*/false);
   csv.header({"strategy", "num_mds", "avg_mds_throughput_ops",
@@ -32,7 +44,10 @@ int main(int argc, char** argv) {
   for (int n : sizes) {
     std::vector<std::string> row{std::to_string(n)};
     for (StrategyKind k : all_strategies()) {
-      const RunResult r = run_one(scaled_system_config(k, n));
+      SimConfig config = scaled_system_config(k, n);
+      config.shards = shards;
+      config.threads = threads;
+      const RunResult r = run_one(config);
       csv.field(strategy_name(k))
           .field(std::int64_t{n})
           .field(r.avg_mds_throughput)

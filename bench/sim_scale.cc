@@ -1,0 +1,191 @@
+// Simulation-engine scaling: sharded parallel core vs the monolithic
+// engine on a dense, fig2-style configuration with a 10x client base.
+//
+// Not a paper figure — this measures the *simulator*, not the simulated
+// system: wall-clock to complete the same simulated horizon on the
+// classic single-engine ClusterSim versus the sharded engine
+// (core/sharded_cluster.h) with its cohort clients and timer wheels.
+// Emits a google-benchmark-compatible JSON (BENCH_sim_scale.json, usable
+// with tools/bench_compare.py) and a determinism CSV: the CSV carries
+// only simulation-derived values, so two sharded runs — at any two thread
+// counts — must produce byte-identical files.
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/sharded_cluster.h"
+
+using namespace mdsim;
+using namespace mdsim::bench;
+
+namespace {
+
+struct Timing {
+  double wall_ms = 0.0;
+  RunResult result;
+  std::uint64_t events = 0;
+  std::uint64_t cross_posts = 0;
+};
+
+SimConfig scale_config(int shards, int threads, bool quick) {
+  // fig2 shape at n = 8, with a 10x client population (quick: a smaller
+  // cut for CI determinism gates).
+  SimConfig cfg = scaled_system_config(StrategyKind::kDynamicSubtree, 8);
+  if (quick) {
+    cfg.num_clients = 2400;
+    cfg.duration = 3 * kSecond;
+    cfg.warmup = kSecond;
+  } else {
+    cfg.num_clients = 12000;
+    cfg.duration = 6 * kSecond;
+    cfg.warmup = 2 * kSecond;
+  }
+  cfg.shards = shards;
+  cfg.threads = threads;
+  return cfg;
+}
+
+Timing run_legacy(const SimConfig& cfg) {
+  Timing t;
+  const auto t0 = std::chrono::steady_clock::now();
+  ClusterSim cluster(cfg);
+  cluster.run();
+  const auto t1 = std::chrono::steady_clock::now();
+  t.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  Metrics& m = cluster.metrics();
+  t.result.config = cfg;
+  t.result.avg_mds_throughput = m.avg_mds_throughput(cluster.sim().now());
+  t.result.hit_rate = m.cluster_hit_rate();
+  t.result.forward_fraction = m.overall_forward_fraction();
+  t.result.mean_latency_ms = m.client_latency().mean() * 1e3;
+  t.result.replies = m.total_replies();
+  t.result.failures = m.total_failures();
+  t.events = cluster.sim().events_executed();
+  return t;
+}
+
+Timing run_sharded(const SimConfig& cfg) {
+  Timing t;
+  const auto t0 = std::chrono::steady_clock::now();
+  ShardedClusterSim cluster(cfg);
+  cluster.run();
+  const auto t1 = std::chrono::steady_clock::now();
+  t.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  t.result = cluster.result();
+  t.events = cluster.engine().events_executed();
+  t.cross_posts = cluster.engine().cross_posts();
+  return t;
+}
+
+void csv_row(CsvWriter& csv, const std::string& mode, const Timing& t) {
+  // Simulation-derived values only: wall-clock never enters the CSV, so
+  // the file is a pure function of the simulation and must be
+  // byte-identical across thread counts and invocations.
+  csv.field(mode)
+      .field(std::int64_t{t.result.config.shards})
+      .field(std::int64_t{t.result.config.num_clients})
+      .field(t.result.avg_mds_throughput)
+      .field(t.result.hit_rate)
+      .field(t.result.forward_fraction)
+      .field(t.result.mean_latency_ms)
+      .field(t.result.replies)
+      .field(t.result.failures)
+      .field(t.events)
+      .field(t.cross_posts);
+  csv.end_row();
+}
+
+void json_row(std::ofstream& out, const std::string& name, const Timing& t,
+              bool last) {
+  const double secs = t.wall_ms / 1e3;
+  out << "    {\n"
+      << "      \"name\": \"" << name << "\",\n"
+      << "      \"run_name\": \"" << name << "\",\n"
+      << "      \"run_type\": \"iteration\",\n"
+      << "      \"iterations\": 1,\n"
+      << "      \"real_time\": " << t.wall_ms << ",\n"
+      << "      \"cpu_time\": " << t.wall_ms << ",\n"
+      << "      \"time_unit\": \"ms\",\n"
+      << "      \"items_per_second\": "
+      << (secs > 0 ? static_cast<double>(t.events) / secs : 0.0) << ",\n"
+      << "      \"replies\": " << t.result.replies << ",\n"
+      << "      \"events\": " << t.events << ",\n"
+      << "      \"cross_posts\": " << t.cross_posts << "\n"
+      << "    }" << (last ? "\n" : ",\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  banner("Simulation scale — sharded engine vs monolithic",
+         "engine benchmark (DESIGN.md section 5f); not a paper figure");
+
+  bool quick = false;
+  bool skip_legacy = false;
+  int shards = 8;
+  int threads = 1;
+  std::string tag;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") quick = true;
+    else if (arg == "--no-legacy") skip_legacy = true;
+    else if (arg.rfind("--shards=", 0) == 0) shards = std::atoi(arg.c_str() + 9);
+    else if (arg.rfind("--threads=", 0) == 0) threads = std::atoi(arg.c_str() + 10);
+    else if (arg.rfind("--tag=", 0) == 0) tag = arg.substr(6);
+  }
+
+  const std::string csv_name = tag.empty() ? "sim_scale" : "sim_scale_" + tag;
+  CsvWriter csv(csv_path(csv_name), /*echo_stdout=*/false);
+  csv.header({"mode", "shards", "clients", "avg_mds_throughput_ops",
+              "hit_rate", "forward_fraction", "mean_latency_ms", "replies",
+              "failures", "events", "cross_posts"});
+
+  Timing legacy;
+  if (!skip_legacy) {
+    std::cout << "  [legacy   1 engine ] running...\n";
+    legacy = run_legacy(scale_config(1, 1, quick));
+    std::cout << "  [legacy   1 engine ] " << fmt_double(legacy.wall_ms, 0)
+              << " ms wall, " << legacy.events << " events, "
+              << legacy.result.replies << " replies\n";
+    csv_row(csv, "legacy", legacy);
+  }
+
+  std::cout << "  [sharded " << shards << " shards t" << threads
+            << "] running...\n";
+  const Timing sharded = run_sharded(scale_config(shards, threads, quick));
+  std::cout << "  [sharded " << shards << " shards t" << threads << "] "
+            << fmt_double(sharded.wall_ms, 0) << " ms wall, "
+            << sharded.events << " events, " << sharded.result.replies
+            << " replies, " << sharded.cross_posts << " cross-shard\n";
+  csv_row(csv, "sharded", sharded);
+
+  if (!skip_legacy) {
+    const double speedup = sharded.wall_ms > 0
+                               ? legacy.wall_ms / sharded.wall_ms
+                               : 0.0;
+    std::cout << "\n  speedup (legacy / sharded wall-clock): "
+              << fmt_double(speedup, 2) << "x\n";
+
+    const std::string json = results_dir() + "/BENCH_sim_scale.json";
+    std::ofstream out(json);
+    out << "{\n  \"context\": {\n"
+        << "    \"executable\": \"sim_scale\",\n"
+        << "    \"num_cpus\": 1,\n"
+        << "    \"library_build_type\": \"release\",\n"
+        << "    \"shards\": " << shards << ",\n"
+        << "    \"threads\": " << threads << ",\n"
+        << "    \"clients\": " << sharded.result.config.num_clients << "\n"
+        << "  },\n  \"benchmarks\": [\n";
+    json_row(out, "BM_SimScale/legacy_monolithic", legacy, false);
+    json_row(out, "BM_SimScale/sharded_x" + std::to_string(shards) + "_t" +
+                      std::to_string(threads),
+             sharded, true);
+    out << "  ]\n}\n";
+    std::cout << "  JSON: " << json << "\n";
+  }
+  std::cout << "  CSV: " << csv_path(csv_name) << "\n";
+  return 0;
+}

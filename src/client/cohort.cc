@@ -1,0 +1,286 @@
+#include "client/cohort.h"
+
+#include <cassert>
+
+namespace mdsim {
+
+ClientCohort::ClientCohort(Simulation& sim, Network& net, FsTree& tree,
+                           Workload& workload, const Partitioner& partition,
+                           const DirFragRegistry& dirfrag, int count,
+                           ClientId first_id, int num_mds,
+                           std::uint64_t seed)
+    : sim_(sim),
+      net_(net),
+      tree_(tree),
+      workload_(workload),
+      partition_(partition),
+      dirfrag_(dirfrag),
+      first_id_(first_id),
+      num_mds_(num_mds),
+      // Millisecond buckets: client timescales are 15 ms think times and
+      // multi-second timeouts, so <1 ms of quantization is noise, and the
+      // coarser tick batches an order of magnitude more clients per wheel
+      // wakeup (one engine event services the whole bucket).
+      wheel_(
+          sim,
+          [this](std::uint32_t idx, std::uint32_t stamp) {
+            on_timer(idx, stamp);
+          },
+          kMillisecond) {
+  assert(count > 0);
+  const std::size_t n = static_cast<std::size_t>(count);
+  ports_.resize(n);  // never resized again: Port addresses must be stable
+  uids_.resize(n);
+  rngs_.reserve(n);
+  next_req_.assign(n, 1);
+  inflight_.assign(n, 0);
+  issued_at_.assign(n, 0);
+  attempts_.assign(n, 0);
+  stamps_.assign(n, 0);
+  last_epoch_.assign(n, 1);
+  pending_.resize(n);
+  remote_.assign(n, 0);
+  remote_idx_.assign(n, 0);
+  locs_.resize(n);
+  // Same stream family as the standalone Client so cohort clients are
+  // statistically comparable, derived per client via substream() so the
+  // cohort needs one base seed.
+  const Rng base(seed, 0xc11e47000ULL);
+  for (std::size_t i = 0; i < n; ++i) {
+    const ClientId id = client_id(static_cast<int>(i));
+    ports_[i].cohort = this;
+    ports_[i].idx = static_cast<std::uint32_t>(i);
+    uids_[i] = static_cast<std::uint32_t>(100 + id);
+    rngs_.push_back(base.substream(static_cast<std::uint64_t>(id)));
+  }
+}
+
+void ClientCohort::set_tracer(TraceCollector* tracer) {
+  tracer_ = tracer;
+  if (tracer_ != nullptr) trace_recs_.resize(ports_.size());
+}
+
+void ClientCohort::set_remote_catalog(std::vector<RemoteTarget> catalog,
+                                      double fraction) {
+  catalog_ = std::move(catalog);
+  remote_fraction_ = fraction;
+}
+
+void ClientCohort::start() {
+  for (Port& p : ports_) p.addr = net_.attach(&p);
+  for (int i = 0; i < size(); ++i) {
+    schedule_next(static_cast<std::uint32_t>(i));
+  }
+}
+
+void ClientCohort::arm(std::uint32_t idx, Kind kind, SimTime due) {
+  // One live timer per client: a new stamp supersedes whatever is in the
+  // wheel (stale entries fire into on_timer and fail the stamp compare).
+  const std::uint32_t stamp = ((stamps_[idx] >> 2) + 1) << 2 | kind;
+  stamps_[idx] = stamp;
+  wheel_.arm(idx, stamp, due);
+}
+
+void ClientCohort::disarm(std::uint32_t idx) {
+  stamps_[idx] = ((stamps_[idx] >> 2) + 1) << 2 | kThink;
+}
+
+void ClientCohort::on_timer(std::uint32_t idx, std::uint32_t stamp) {
+  if (stamp != stamps_[idx]) return;  // superseded
+  switch (stamp & 3u) {
+    case kThink:
+      begin_turn(idx);
+      break;
+    case kTimeout:
+      on_timeout(idx);
+      break;
+    case kRetry:
+      on_retry(idx);
+      break;
+    default:
+      assert(false);
+  }
+}
+
+void ClientCohort::schedule_next(std::uint32_t idx) {
+  Operation op;
+  const SimTime delay =
+      workload_.next(client_id(static_cast<int>(idx)), sim_.now(),
+                     rngs_[idx], &op);
+  if (delay == kNever) {
+    disarm(idx);  // this client is done
+    return;
+  }
+  pending_[idx] = std::move(op);
+  arm(idx, kThink, sim_.now() + delay);
+}
+
+void ClientCohort::begin_turn(std::uint32_t idx) {
+  remote_[idx] = 0;
+  if (remote_fraction_ > 0.0 && !catalog_.empty() &&
+      rngs_[idx].bernoulli(remote_fraction_)) {
+    remote_[idx] = 1;
+    remote_idx_[idx] = static_cast<std::uint32_t>(
+        rngs_[idx].uniform(catalog_.size()));
+  } else {
+    const Operation& op = pending_[idx];
+    // The target may have been unlinked while we were thinking.
+    if (op.target == nullptr || !tree_.alive(op.target)) {
+      schedule_next(idx);
+      return;
+    }
+  }
+  attempts_[idx] = 0;
+  issue(idx);
+}
+
+MdsId ClientCohort::pick_mds(std::uint32_t idx, const Operation& op) {
+  const StrategyTraits traits = traits_for(partition_.kind());
+  if (!traits.client_computes_location) {
+    return locs_[idx].resolve(op.target, rngs_[idx], num_mds_);
+  }
+  const bool namespace_op = op.op == OpType::kCreate ||
+                            op.op == OpType::kMkdir ||
+                            op.op == OpType::kLink;
+  if (namespace_op) {
+    switch (partition_.kind()) {
+      case StrategyKind::kDirHash:
+        return partition_.authority_of(op.target) == kInvalidMds
+                   ? 0
+                   : static_cast<MdsId>(
+                         op.target->path_hash() %
+                         static_cast<std::uint64_t>(num_mds_));
+      case StrategyKind::kFileHash:
+      case StrategyKind::kLazyHybrid:
+        return static_cast<MdsId>(child_path_hash(op.target, op.name) %
+                                  static_cast<std::uint64_t>(num_mds_));
+      default:
+        break;
+    }
+  }
+  return partition_.authority_of(op.target);
+}
+
+void ClientCohort::issue(std::uint32_t idx) {
+  auto msg = std::make_unique<ClientRequestMsg>();
+  msg->req_id = next_req_[idx]++;
+  msg->client = client_id(static_cast<int>(idx));
+  inflight_[idx] = msg->req_id;
+  issued_at_[idx] = sim_.now();
+  ++stats_.ops_issued;
+
+  if (remote_[idx] != 0) {
+    // Cross-shard stat: the catalog entry names a remote MDS by global
+    // address and the target's owner (whose uid we assume, since our own
+    // uid means nothing against another shard's permission state). The
+    // reply must route back across the fabric, so the request carries our
+    // *global* address; never traced (the collector is shard-local).
+    const RemoteTarget& t = catalog_[remote_idx_[idx]];
+    msg->client_addr = net_.global_addr(addr(static_cast<int>(idx)));
+    msg->op = OpType::kStat;
+    msg->uid = t.uid;
+    msg->target = t.ino;
+    msg->secondary = kInvalidInode;
+    ++remote_issued_;
+    net_.send(addr(static_cast<int>(idx)), t.mds, std::move(msg));
+  } else {
+    const Operation& op = pending_[idx];
+    msg->client_addr = addr(static_cast<int>(idx));
+    msg->op = op.op;
+    msg->uid = uids_[idx];
+    msg->target = op.target->ino();
+    msg->secondary =
+        op.secondary != nullptr ? op.secondary->ino() : kInvalidInode;
+    msg->name = op.name;
+    if (tracer_ != nullptr) {
+      TraceRecord& rec = trace_recs_[idx];
+      if (attempts_[idx] == 0) {
+        rec.begin(msg->req_id, msg->client, op.op, sim_.now());
+      } else {
+        rec.rearm(msg->req_id, sim_.now());
+      }
+      msg->trace = &rec;
+    }
+    // Retries distrust cached knowledge: spray somewhere random.
+    const MdsId mds =
+        attempts_[idx] == 0
+            ? pick_mds(idx, op)
+            : static_cast<MdsId>(
+                  rngs_[idx].uniform(static_cast<std::uint64_t>(num_mds_)));
+    assert(mds >= 0 && mds < num_mds_);
+    net_.send(addr(static_cast<int>(idx)), mds, std::move(msg));
+  }
+  arm(idx, kTimeout, sim_.now() + request_timeout_);
+}
+
+void ClientCohort::give_up(std::uint32_t idx) {
+  inflight_[idx] = 0;
+  attempts_[idx] = 0;
+  ++stats_.ops_failed;
+  schedule_next(idx);
+}
+
+void ClientCohort::on_timeout(std::uint32_t idx) {
+  ++stats_.retries;
+  ++attempts_[idx];
+  if (remote_[idx] == 0 && !tree_.alive(pending_[idx].target)) {
+    give_up(idx);
+    return;
+  }
+  // Exponential backoff with jitter in [d/2, d), as in Client.
+  const int shift = attempts_[idx] - 1 < 6 ? attempts_[idx] - 1 : 6;
+  SimTime d = retry_backoff_base_ << shift;
+  if (d > retry_backoff_cap_) d = retry_backoff_cap_;
+  const SimTime delay =
+      d / 2 + static_cast<SimTime>(rngs_[idx].uniform_double() *
+                                   static_cast<double>(d / 2));
+  arm(idx, kRetry, sim_.now() + delay);
+}
+
+void ClientCohort::on_retry(std::uint32_t idx) {
+  if (remote_[idx] == 0 && !tree_.alive(pending_[idx].target)) {
+    give_up(idx);
+    return;
+  }
+  issue(idx);
+}
+
+void ClientCohort::on_reply(std::uint32_t idx, NetAddr from, MessagePtr msg) {
+  (void)from;
+  if (msg->type != MsgType::kClientReply) return;
+  auto& reply = static_cast<ClientReplyMsg&>(*msg);
+  if (reply.req_id != inflight_[idx]) {
+    ++stats_.stale_replies;
+    return;
+  }
+  inflight_[idx] = 0;
+  attempts_[idx] = 0;
+  // No timer cancellation needed: schedule_next below supersedes the
+  // pending timeout's stamp (via arm or disarm).
+
+  ++stats_.ops_completed;
+  if (!reply.success) ++stats_.ops_failed;
+  if (reply.hops > 0) ++stats_.forwarded_replies;
+  stats_.latency_seconds.add(to_seconds(sim_.now() - issued_at_[idx]));
+  if (remote_[idx] == 0) {
+    if (tracer_ != nullptr) {
+      TraceRecord& rec = trace_recs_[idx];
+      rec.advance(TraceStage::kNetReply, sim_.now(), reply.req_id);
+      rec.hops = reply.hops;
+      rec.failed = !reply.success;
+      tracer_->complete(rec, sim_.now());
+    }
+    if (reply.epoch > last_epoch_[idx]) {
+      last_epoch_[idx] = reply.epoch;
+      locs_[idx].clear();
+    }
+    locs_[idx].learn(reply.hints);
+  }
+  // Remote replies: hints and epochs describe another shard's namespace
+  // and partition map — both are meaningless against ours, so neither is
+  // learned (inode ids collide across shard trees).
+
+  schedule_next(idx);
+}
+
+}  // namespace mdsim

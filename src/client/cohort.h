@@ -1,0 +1,151 @@
+// Dense client population: struct-of-arrays cohort.
+//
+// The per-client `Client` object costs a heap allocation, a private event
+// per pending timer in the engine's global heap, and scattered state that
+// thrashes caches once populations reach the tens of thousands. A
+// ClientCohort holds the *same* closed-loop protocol (think → issue →
+// reply | timeout → backoff → retry) as parallel arrays indexed by a dense
+// client index, and replaces per-client heap events with a single shared
+// TimerWheel: each client has at most one live timer (closed-loop
+// invariant), identified by a (kind, generation) stamp so superseded
+// timers are dropped with one compare when they fire.
+//
+// Each client still owns a real network address — a per-client Port
+// endpoint attaches to the Network — so MDS-side per-address logic
+// (reply routing, update dedup) sees exactly the shape it expects, and
+// request ids remain a plain per-client sequence.
+//
+// In a sharded cluster the cohort also drives cross-shard traffic: a
+// catalog of remote targets (global MDS address, inode, owning uid) is
+// installed at build time, and each think-turn issues a remote stat with
+// probability `remote_fraction`, spoofing the owner's uid. Remote replies
+// carry hints and epochs that refer to *another shard's* namespace, so
+// both are ignored; remote ops are never traced (the trace collector is
+// shard-local).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "client/client.h"  // ClientStats
+#include "client/location_cache.h"
+#include "common/rng.h"
+#include "common/trace.h"
+#include "common/types.h"
+#include "mds/dirfrag.h"
+#include "net/network.h"
+#include "sim/timer_wheel.h"
+#include "strategy/partition.h"
+#include "workload/workload.h"
+
+namespace mdsim {
+
+class ClientCohort {
+ public:
+  /// A cross-shard stat target: `mds` is a shard-global address.
+  struct RemoteTarget {
+    NetAddr mds = kInvalidAddr;
+    InodeId ino = kInvalidInode;
+    std::uint32_t uid = 0;
+  };
+
+  ClientCohort(Simulation& sim, Network& net, FsTree& tree,
+               Workload& workload, const Partitioner& partition,
+               const DirFragRegistry& dirfrag, int count, ClientId first_id,
+               int num_mds, std::uint64_t seed);
+
+  /// Attach every client's port and schedule its first operation.
+  void start();
+
+  int size() const { return static_cast<int>(ports_.size()); }
+  ClientId client_id(int idx) const {
+    return first_id_ + static_cast<ClientId>(idx);
+  }
+  NetAddr addr(int idx) const { return ports_[static_cast<std::size_t>(idx)].addr; }
+
+  void set_uid(int idx, std::uint32_t uid) {
+    uids_[static_cast<std::size_t>(idx)] = uid;
+  }
+  void set_request_timeout(SimTime t) { request_timeout_ = t; }
+  void set_retry_backoff(SimTime base, SimTime cap) {
+    retry_backoff_base_ = base;
+    retry_backoff_cap_ = cap;
+  }
+  void set_tracer(TraceCollector* tracer);
+
+  /// Install cross-shard targets; each think-turn goes remote with
+  /// probability `fraction` (when the catalog is non-empty).
+  void set_remote_catalog(std::vector<RemoteTarget> catalog, double fraction);
+
+  /// Aggregate over every client in the cohort.
+  const ClientStats& stats() const { return stats_; }
+  ClientStats& stats() { return stats_; }
+  std::uint64_t remote_ops_issued() const { return remote_issued_; }
+  const TimerWheel& wheel() const { return wheel_; }
+
+ private:
+  /// Timer kinds, encoded in the low bits of the wheel stamp.
+  enum Kind : std::uint32_t { kThink = 0, kTimeout = 1, kRetry = 2 };
+
+  struct Port final : NetEndpoint {
+    ClientCohort* cohort = nullptr;
+    std::uint32_t idx = 0;
+    NetAddr addr = kInvalidAddr;
+    void on_message(NetAddr from, MessagePtr msg) override {
+      cohort->on_reply(idx, from, std::move(msg));
+    }
+  };
+
+  void on_timer(std::uint32_t idx, std::uint32_t stamp);
+  void on_reply(std::uint32_t idx, NetAddr from, MessagePtr msg);
+  void schedule_next(std::uint32_t idx);
+  void begin_turn(std::uint32_t idx);
+  void issue(std::uint32_t idx);
+  void on_timeout(std::uint32_t idx);
+  void on_retry(std::uint32_t idx);
+  void give_up(std::uint32_t idx);
+  MdsId pick_mds(std::uint32_t idx, const Operation& op);
+  /// Arm this client's one live timer (superseding any previous one).
+  void arm(std::uint32_t idx, Kind kind, SimTime due);
+  /// Invalidate the live timer without arming a new one.
+  void disarm(std::uint32_t idx);
+
+  Simulation& sim_;
+  Network& net_;
+  FsTree& tree_;
+  Workload& workload_;
+  const Partitioner& partition_;
+  const DirFragRegistry& dirfrag_;
+  ClientId first_id_;
+  int num_mds_;
+  SimTime request_timeout_ = 5 * kSecond;
+  SimTime retry_backoff_base_ = 250 * kMillisecond;
+  SimTime retry_backoff_cap_ = 2 * kSecond;
+  TraceCollector* tracer_ = nullptr;
+
+  TimerWheel wheel_;
+  std::vector<Port> ports_;
+
+  // Parallel per-client arrays, indexed by dense cohort index.
+  std::vector<std::uint32_t> uids_;
+  std::vector<Rng> rngs_;             // substream(i) of the cohort seed
+  std::vector<std::uint64_t> next_req_;
+  std::vector<std::uint64_t> inflight_;  // req id, 0 = idle
+  std::vector<SimTime> issued_at_;
+  std::vector<std::int32_t> attempts_;
+  std::vector<std::uint32_t> stamps_;    // current valid wheel stamp
+  std::vector<std::uint64_t> last_epoch_;
+  std::vector<Operation> pending_;
+  std::vector<std::uint8_t> remote_;     // this turn targets another shard
+  std::vector<std::uint32_t> remote_idx_;  // catalog index when remote
+  std::vector<LocationCache> locs_;
+  std::vector<TraceRecord> trace_recs_;  // sized when a tracer is set
+
+  std::vector<RemoteTarget> catalog_;
+  double remote_fraction_ = 0.0;
+  std::uint64_t remote_issued_ = 0;
+
+  ClientStats stats_;
+};
+
+}  // namespace mdsim

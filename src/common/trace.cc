@@ -74,6 +74,46 @@ void TraceCollector::complete(const TraceRecord& rec, SimTime end) {
   }
 }
 
+void TraceCollector::merge(const TraceCollector& other) {
+  completed_ += other.completed_;
+  for (int op = 0; op < kNumOpTypes; ++op) {
+    const auto o = static_cast<std::size_t>(op);
+    op_count_[o] += other.op_count_[o];
+    total_sum_ns_[o] += other.total_sum_ns_[o];
+    total_hist_[o].merge(other.total_hist_[o]);
+    for (int s = 0; s < kNumTraceStages; ++s) {
+      const auto st = static_cast<std::size_t>(s);
+      stage_sum_ns_[o][st] += other.stage_sum_ns_[o][st];
+      stage_hist_[o][st].merge(other.stage_hist_[o][st]);
+    }
+  }
+  // Re-rank the slowest set over the union via the normal insert path
+  // (complete() only touches slow_ when handed an existing SlowOp's
+  // fields, so reuse its heap logic directly).
+  for (const SlowOp& s : other.slow_) {
+    if (slowest_n_ == 0) break;
+    if (slow_.size() < slowest_n_) {
+      slow_.push_back(s);
+      std::push_heap(slow_.begin(), slow_.end(),
+                     [this](const SlowOp& a, const SlowOp& b) {
+                       return slower(a, b);
+                     });
+      continue;
+    }
+    if (slower(s, slow_.front())) {
+      std::pop_heap(slow_.begin(), slow_.end(),
+                    [this](const SlowOp& a, const SlowOp& b) {
+                      return slower(a, b);
+                    });
+      slow_.back() = s;
+      std::push_heap(slow_.begin(), slow_.end(),
+                     [this](const SlowOp& a, const SlowOp& b) {
+                       return slower(a, b);
+                     });
+    }
+  }
+}
+
 void TraceCollector::reset() {
   completed_ = 0;
   op_count_.fill(0);

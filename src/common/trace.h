@@ -175,6 +175,13 @@ class TraceCollector {
   /// Drop everything accumulated so far (warmup boundary).
   void reset();
 
+  /// Fold another collector's accumulation into this one (cross-shard
+  /// aggregation at end of run): counts, sums and histograms add; the
+  /// slowest-N set is re-ranked over the union under the same
+  /// deterministic order, so the merged result is independent of merge
+  /// order and identical to having collected centrally.
+  void merge(const TraceCollector& other);
+
   std::uint64_t completed() const { return completed_; }
   std::uint64_t completed(OpType op) const {
     return op_count_[static_cast<std::size_t>(op)];

@@ -68,6 +68,21 @@ struct SimConfig {
   SimTime client_backoff_base = 250 * kMillisecond;
   SimTime client_backoff_cap = 2 * kSecond;
 
+  /// Parallel simulation (core/sharded_cluster.h). shards == 1 is the
+  /// classic single-engine ClusterSim path, bit-for-bit unchanged; with
+  /// shards > 1 the system is split into that many self-contained
+  /// mini-clusters (num_mds, num_clients and fs.num_users divided among
+  /// them) advancing in lookahead-bounded lockstep windows. `threads`
+  /// sets the worker count inside windows — results are identical for
+  /// every value, by construction.
+  int shards = 1;
+  int threads = 1;
+  /// Probability that a cohort client's think-turn targets another shard
+  /// (a stat against a remote tree, routed over the cross-shard fabric).
+  double shard_remote_fraction = 0.05;
+  /// Remote targets sampled per (shard, other-shard) pair at build time.
+  int shard_catalog_size = 64;
+
   /// Per-request tracing / latency attribution (src/common/trace.h).
   /// Disabled by default: no trace records exist, every hook reduces to a
   /// null-pointer check, and simulation results are identical either way

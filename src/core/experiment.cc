@@ -1,12 +1,22 @@
 #include "core/experiment.h"
 
 #include <atomic>
+#include <cassert>
 #include <thread>
+
+#include "core/sharded_cluster.h"
 
 namespace mdsim {
 
 RunResult run_one(const SimConfig& config,
                   const std::function<void(ClusterSim&)>& inspect) {
+  if (config.shards > 1) {
+    // Parallel engine; `inspect` takes a ClusterSim and cannot apply.
+    assert(!inspect && "inspect hooks are single-cluster only");
+    ShardedClusterSim cluster(config);
+    cluster.run();
+    return cluster.result();
+  }
   ClusterSim cluster(config);
   cluster.run();
 

@@ -22,7 +22,9 @@ struct RunResult {
   std::uint64_t failures = 0;
 };
 
-/// Run one configured simulation to completion and summarize it.
+/// Run one configured simulation to completion and summarize it. With
+/// config.shards > 1 the run uses the sharded parallel engine
+/// (core/sharded_cluster.h); `inspect` hooks are single-cluster only.
 /// `inspect`, if given, runs against the finished cluster (extra metrics).
 RunResult run_one(const SimConfig& config,
                   const std::function<void(ClusterSim&)>& inspect = {});

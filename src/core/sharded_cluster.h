@@ -1,0 +1,105 @@
+// Sharded cluster simulation: the parallel counterpart of ClusterSim.
+//
+// A shard is a self-contained mini-cluster — its own namespace tree,
+// object store, network, partitioner, MDS group and client cohort — bound
+// to one engine of a ShardedSimulation. All of the existing intra-cluster
+// protocol (forwarding, replication, migration, heartbeats, journaling)
+// runs unmodified *within* a shard, single-threaded. Cross-shard traffic
+// is client-driven: each cohort holds a frozen catalog of remote targets
+// (sampled deterministically from the other shards' trees at build time)
+// and issues stats against them with a configurable probability; those
+// requests and their replies ride the lookahead-bounded mailbox fabric
+// (net/shard_link.h), which is what makes N-shard runs bit-stable across
+// any thread count.
+//
+// Deliberate non-goals, documented in DESIGN.md §5f: fault injection,
+// partitions and MDS crash/recovery stay intra-shard concepts; sharded
+// runs model healthy scale-out. Only the general-purpose workload is
+// supported (the scale experiments use it exclusively).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "client/cohort.h"
+#include "common/fault_log.h"
+#include "core/config.h"
+#include "core/experiment.h"
+#include "mds/mds_node.h"
+#include "net/shard_link.h"
+#include "sim/sharded.h"
+#include "workload/workload.h"
+
+namespace mdsim {
+
+class ShardedClusterSim {
+ public:
+  explicit ShardedClusterSim(SimConfig config);
+  ~ShardedClusterSim();
+  ShardedClusterSim(const ShardedClusterSim&) = delete;
+  ShardedClusterSim& operator=(const ShardedClusterSim&) = delete;
+
+  /// Build, run to config.duration, aggregate. Idempotent.
+  void run();
+
+  /// Aggregates over every shard, shaped exactly like a single-cluster
+  /// run's summary. Valid after run().
+  const RunResult& result() const { return result_; }
+
+  ShardedSimulation& engine() { return engine_; }
+  int num_shards() const { return engine_.shard_count(); }
+  int total_mds() const { return total_mds_; }
+  int total_clients() const { return total_clients_; }
+  std::uint64_t remote_ops() const;
+  /// Merged per-request trace aggregation (null when tracing is off).
+  const TraceCollector* tracer() const { return merged_tracer_.get(); }
+
+ private:
+  struct Shard {
+    FsTree tree;
+    NamespaceInfo ns_info;
+    ObjectStore store;
+    AnchorTable anchors;
+    FaultLog fault_log;
+    std::unique_ptr<Network> net;
+    std::unique_ptr<Partitioner> partition;
+    std::unique_ptr<DirFragRegistry> dirfrag;
+    std::unique_ptr<LazyHybridManager> lazy;
+    std::unique_ptr<ClusterContext> ctx;
+    std::vector<std::unique_ptr<MdsNode>> mds_nodes;
+    std::unique_ptr<Workload> workload;
+    std::unique_ptr<TraceCollector> tracer;
+    std::unique_ptr<ClientCohort> cohort;
+    int first_client = 0;
+    /// Warm-up snapshots (per local MDS), mirroring Metrics::reset.
+    std::vector<std::uint64_t> base_replies, base_forwards, base_requests,
+        base_failures, base_hits, base_misses;
+  };
+
+  /// Ferries cross-shard messages: source/destination shards are decoded
+  /// from the global addresses, so one fabric serves every network.
+  struct Fabric final : CrossShardLink {
+    ShardedClusterSim* owner = nullptr;
+    void deliver(NetAddr global_from, NetAddr global_to, SimTime when,
+                 MessagePtr msg) override;
+  };
+
+  void build();
+  void build_shard(int s);
+  void build_catalogs();
+  void snapshot(int s);
+  void aggregate();
+
+  SimConfig config_;
+  ShardedSimulation engine_;
+  Fabric fabric_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<TraceCollector> merged_tracer_;
+  RunResult result_;
+  int total_mds_ = 0;
+  int total_clients_ = 0;
+  bool built_ = false;
+  bool ran_ = false;
+};
+
+}  // namespace mdsim

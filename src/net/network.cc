@@ -81,7 +81,56 @@ void Network::set_down(NetAddr addr, bool down) {
   }
 }
 
+void Network::set_shard(int shard_id, CrossShardLink* link) {
+  assert(shard_id >= 0 && shard_id < kMaxShards);
+  shard_id_ = shard_id;
+  base_ = shard_global_addr(shard_id, 0);
+  link_ = link;
+}
+
+void Network::send_cross(NetAddr from, NetAddr global_to, MessagePtr msg) {
+  assert(link_ != nullptr);
+  counts_[static_cast<std::size_t>(msg->type)]++;
+  // Sender-side latency draw, from the same jitter stream as local
+  // traffic, so one shard's cross traffic is a deterministic function of
+  // that shard's own execution. cross_base_latency is the engine
+  // lookahead, so deliver_at >= now + lookahead always holds (jitter and
+  // floors only push later).
+  SimTime latency = params_.cross_base_latency;
+  if (params_.jitter_mean > 0) {
+    latency += static_cast<SimTime>(
+        rng_.exponential(static_cast<double>(params_.jitter_mean)));
+  }
+  const NetAddr global_from =
+      is_shard_global(from) ? from : global_addr(from);
+  SimTime deliver_at = sim_.now() + latency;
+  SimTime& floor = cross_floor_[directed_key(global_from, global_to)];
+  if (deliver_at < floor) deliver_at = floor;
+  floor = deliver_at;
+  link_->deliver(global_from, global_to, deliver_at, std::move(msg));
+}
+
+void Network::deliver_remote(NetAddr global_from, NetAddr global_to,
+                             MessagePtr msg) {
+  assert(shard_of_addr(global_to) == shard_id_);
+  const NetAddr local = shard_local_addr(global_to);
+  assert(local >= 0 && static_cast<std::size_t>(local) < endpoints_.size());
+  // Not counted here: the sender's network already counted the send.
+  endpoints_[static_cast<std::size_t>(local)]->on_message(global_from,
+                                                          std::move(msg));
+}
+
 void Network::send(NetAddr from, NetAddr to, MessagePtr msg) {
+  if (is_shard_global(to)) {
+    // Never true in legacy mode: dense local addresses stay far below
+    // 2^22, so this branch costs one compare on the hot path.
+    if (shard_of_addr(to) != shard_id_) {
+      send_cross(from, to, std::move(msg));
+      return;
+    }
+    to = shard_local_addr(to);
+  }
+  if (is_shard_global(from)) from = shard_local_addr(from);
   assert(to >= 0 && static_cast<std::size_t>(to) < endpoints_.size());
   assert(from >= 0 && static_cast<std::size_t>(from) < endpoints_.size());
   if (down_count_ != 0 &&

@@ -21,6 +21,7 @@
 #include "common/rng.h"
 #include "common/types.h"
 #include "net/message.h"
+#include "net/shard_link.h"
 #include "sim/simulation.h"
 
 namespace mdsim {
@@ -28,6 +29,12 @@ namespace mdsim {
 struct NetworkParams {
   SimTime base_latency = from_micros(120);
   SimTime jitter_mean = from_micros(20);
+  /// Base latency of cross-shard links (sharded runs only): shards model
+  /// distant MDS groups — different racks or rows, not LAN neighbors — so
+  /// their interconnect is an order of magnitude slower. This is also the
+  /// parallel engine's lookahead, so it bounds how much work each shard
+  /// can execute per synchronization window.
+  SimTime cross_base_latency = from_micros(1200);
   std::uint64_t seed = 7;
 };
 
@@ -116,7 +123,26 @@ class Network {
 
   std::size_t endpoint_count() const { return endpoints_.size(); }
 
+  /// Join a sharded fabric as shard `shard_id`. Destinations at or above
+  /// 2^22 that decode to another shard leave through `link` (latency drawn
+  /// here, sender side); everything else is the unchanged legacy path —
+  /// with no link attached the legacy path is bit-for-bit what it was.
+  /// Cross-shard traffic supports latency jitter and per-directed-pair
+  /// FIFO floors but not fault injection (down/partition/link faults are
+  /// intra-shard concepts here; see DESIGN.md §5f).
+  void set_shard(int shard_id, CrossShardLink* link);
+  int shard_id() const { return shard_id_; }
+  bool sharded() const { return link_ != nullptr; }
+  /// The shard-global name of a local endpoint (identity in legacy mode).
+  NetAddr global_addr(NetAddr local) const { return base_ | local; }
+
+  /// Entry point for messages ferried in from another shard; runs inside
+  /// this shard's engine at the delivery time the sender stamped. `from`
+  /// stays global so replies route back across the fabric.
+  void deliver_remote(NetAddr global_from, NetAddr global_to, MessagePtr msg);
+
  private:
+  void send_cross(NetAddr from, NetAddr global_to, MessagePtr msg);
   static std::uint64_t link_key(NetAddr a, NetAddr b) {
     const std::uint32_t lo = static_cast<std::uint32_t>(a < b ? a : b);
     const std::uint32_t hi = static_cast<std::uint32_t>(a < b ? b : a);
@@ -150,6 +176,13 @@ class Network {
   /// Earliest permissible delivery per (src,dst) to preserve FIFO order;
   /// row `from` is indexed by `to` and grown on first use.
   std::vector<std::vector<SimTime>> fifo_floor_;
+  /// Sharded-mode state. base_ == 0 and link_ == nullptr in legacy mode.
+  NetAddr base_ = 0;
+  int shard_id_ = -1;
+  CrossShardLink* link_ = nullptr;
+  /// FIFO floors for cross-shard traffic, keyed (global_from<<32)|global_to
+  /// — sparse map because global pairs span shards.
+  std::unordered_map<std::uint64_t, SimTime> cross_floor_;
 };
 
 }  // namespace mdsim

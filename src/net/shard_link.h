@@ -1,0 +1,61 @@
+// Global addressing and the cross-shard delivery interface.
+//
+// In a sharded simulation every shard owns its own Network with its own
+// dense local address space starting at 0. Cross-shard endpoints are named
+// by *global* addresses that encode the owning shard in the high bits:
+//
+//   global = ((shard + 1) << 22) | local
+//
+// The +1 keeps every global address >= 2^22, so any address below 2^22 is
+// unambiguously shard-local. That matters because intra-shard senders (MDS
+// nodes in particular) pass their small local id as `from`; no translation
+// is needed on any existing call site, and the legacy single-network mode
+// is untouched (its addresses never reach 2^22). NetAddr is a positive
+// int32, which caps the encoding at 511 shards — far beyond any simulated
+// cluster here.
+//
+// CrossShardLink is the seam between a shard's Network and the parallel
+// engine: the sender's network draws the latency (and enforces per-pair
+// FIFO), then hands the timestamped message to the link, which ferries it
+// through the ShardedSimulation mailbox fabric to the destination shard's
+// Network::deliver_remote. The minimum possible latency of this path (the
+// network's cross-shard base latency) is the engine's lookahead.
+#pragma once
+
+#include "common/types.h"
+#include "net/message.h"
+
+namespace mdsim {
+
+inline constexpr int kShardAddrShift = 22;
+/// Addresses below this are shard-local; at or above, shard-global.
+inline constexpr NetAddr kShardLocalLimit = NetAddr{1} << kShardAddrShift;
+/// (shard + 1) << 22 must stay a positive int32.
+inline constexpr int kMaxShards = 511;
+
+constexpr NetAddr shard_global_addr(int shard, NetAddr local) {
+  return (static_cast<NetAddr>(shard + 1) << kShardAddrShift) | local;
+}
+constexpr bool is_shard_global(NetAddr addr) {
+  return addr >= kShardLocalLimit;
+}
+constexpr int shard_of_addr(NetAddr addr) {
+  return static_cast<int>(addr >> kShardAddrShift) - 1;
+}
+constexpr NetAddr shard_local_addr(NetAddr addr) {
+  return addr & (kShardLocalLimit - 1);
+}
+
+/// Ferries an already-timestamped message to another shard. Implemented by
+/// the sharded cluster's fabric on top of ShardedSimulation::post; `when`
+/// is an absolute delivery time >= sender-now + lookahead (the sender's
+/// network guarantees this by construction: base cross-shard latency is
+/// the lookahead and jitter/FIFO floors only add to it).
+class CrossShardLink {
+ public:
+  virtual ~CrossShardLink() = default;
+  virtual void deliver(NetAddr global_from, NetAddr global_to, SimTime when,
+                       MessagePtr msg) = 0;
+};
+
+}  // namespace mdsim

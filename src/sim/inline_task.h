@@ -25,8 +25,12 @@ namespace mdsim {
 
 namespace inline_task_stats {
 /// Constructions that overflowed the inline buffer and heap-allocated.
-/// Thread-local because `run_batch` runs whole simulations per thread;
-/// a Simulation snapshots this at construction and reports the delta.
+/// Thread-local so concurrent shard engines never contend; a process-wide
+/// running total for microbenchmarks. Engines that need an exact per-engine
+/// count (Simulation::Counters) do not sample this — they ask each stored
+/// callable via is_heap_fallback(), which stays correct when many engines
+/// share a thread or one engine constructs tasks from several threads'
+/// worth of callers over its life.
 inline thread_local std::uint64_t heap_fallbacks = 0;
 }  // namespace inline_task_stats
 
@@ -86,6 +90,13 @@ class InlineFunction<R(Args...)> {
 
   explicit operator bool() const noexcept { return ops_ != nullptr; }
 
+  /// True when the held callable overflowed the inline buffer and lives
+  /// in a heap box. A static property of the callable's type, read from
+  /// its ops table — no per-instance storage.
+  bool is_heap_fallback() const noexcept {
+    return ops_ != nullptr && ops_->heap;
+  }
+
  private:
   struct Ops {
     R (*invoke)(void* buf, Args&&... args);
@@ -94,6 +105,8 @@ class InlineFunction<R(Args...)> {
     void (*relocate)(void* src, void* dst) noexcept;
     /// Null when destruction is a no-op.
     void (*destroy)(void* buf) noexcept;
+    /// Callable is heap-boxed (construction overflowed the inline buffer).
+    bool heap;
   };
 
   template <typename Fn>
@@ -113,7 +126,8 @@ class InlineFunction<R(Args...)> {
     static constexpr Ops kOps{
         &invoke,
         std::is_trivially_copyable_v<Fn> ? nullptr : &relocate,
-        std::is_trivially_destructible_v<Fn> ? nullptr : &destroy};
+        std::is_trivially_destructible_v<Fn> ? nullptr : &destroy,
+        /*heap=*/false};
   };
 
   template <typename Fn>
@@ -127,7 +141,7 @@ class InlineFunction<R(Args...)> {
     static void destroy(void* buf) noexcept { delete *box(buf); }
     // The boxed representation is a raw pointer, so relocation is always
     // a trivial copy; only destruction needs the ops table.
-    static constexpr Ops kOps{&invoke, nullptr, &destroy};
+    static constexpr Ops kOps{&invoke, nullptr, &destroy, /*heap=*/true};
   };
 
   template <typename F>

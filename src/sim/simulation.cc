@@ -15,8 +15,7 @@ bool EventHandle::pending() const {
   return sim_ != nullptr && sim_->event_pending(slot_, gen_);
 }
 
-Simulation::Simulation()
-    : heap_fallback_base_(inline_task_stats::heap_fallbacks) {}
+Simulation::Simulation() = default;
 
 Simulation::~Simulation() { std::free(heap_); }
 
@@ -121,6 +120,7 @@ EventHandle Simulation::schedule_at(SimTime when, InlineTask fn) {
   const std::uint32_t slot = alloc_slot();
   EventSlot& s = slot_ref(slot);
   s.fn = std::move(fn);
+  task_heap_fallbacks_ += s.fn.is_heap_fallback();
   return finish_schedule(when, slot, s.gen);
 }
 
@@ -194,8 +194,7 @@ std::uint64_t Simulation::run() {
 }
 
 Simulation::Counters Simulation::counters() const {
-  return Counters{scheduled_, executed_, cancelled_,
-                  inline_task_stats::heap_fallbacks - heap_fallback_base_};
+  return Counters{scheduled_, executed_, cancelled_, task_heap_fallbacks_};
 }
 
 void Simulation::every(SimTime period, SimTime start,

@@ -52,9 +52,13 @@ class Simulation {
     std::uint64_t scheduled = 0;
     std::uint64_t fired = 0;
     std::uint64_t cancelled = 0;
-    /// InlineTask constructions on this thread since this Simulation was
-    /// created whose captures overflowed the inline buffer (each one is a
-    /// heap allocation the hot path was supposed to avoid).
+    /// Events scheduled into *this* engine whose callback overflowed the
+    /// inline buffer and heap-boxed (each one is an allocation the hot
+    /// path was supposed to avoid). Counted per engine at schedule time
+    /// by inspecting the stored callable, so the number stays exact when
+    /// many engines (shards) run in one process or on one thread —
+    /// unlike the old scheme of snapshotting the process-wide
+    /// thread-local construction counter at engine creation.
     std::uint64_t task_heap_fallbacks = 0;
   };
 
@@ -84,6 +88,7 @@ class Simulation {
     const std::uint32_t slot = alloc_slot();
     EventSlot& s = slot_ref(slot);
     s.fn.emplace(std::forward<F>(fn));
+    task_heap_fallbacks_ += s.fn.is_heap_fallback();
     return finish_schedule(when, slot, s.gen);
   }
   EventHandle schedule_at(SimTime when, InlineTask fn);
@@ -102,6 +107,16 @@ class Simulation {
   std::uint64_t events_executed() const { return executed_; }
   /// Scheduled events that have neither fired nor been cancelled.
   std::size_t events_pending() const { return live_pending_; }
+
+  /// No pending event (next_event_time() when the queue is empty).
+  static constexpr SimTime kNoEvent = ~SimTime{0};
+  /// Timestamp of the earliest queued event, or kNoEvent. May be
+  /// conservatively early when the head entry was cancelled (cancelled
+  /// slots stay in the heap until popped) — callers using this as a
+  /// window lower bound stay correct, at worst running an empty window.
+  SimTime next_event_time() const {
+    return heap_end_ > kHeapRoot ? heap_[kHeapRoot].time : kNoEvent;
+  }
 
   Counters counters() const;
 
@@ -192,7 +207,7 @@ class Simulation {
   std::uint64_t scheduled_ = 0;
   std::uint64_t cancelled_ = 0;
   std::size_t live_pending_ = 0;
-  std::uint64_t heap_fallback_base_ = 0;
+  std::uint64_t task_heap_fallbacks_ = 0;
 };
 
 }  // namespace mdsim

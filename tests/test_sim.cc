@@ -189,6 +189,22 @@ TEST(Simulation, OversizedCaptureFallsBackToHeapAndCounts) {
   EXPECT_EQ(seen, 7);  // oversized callables still work, just slower
 }
 
+TEST(Simulation, HeapFallbacksAttributedToTheSchedulingEngine) {
+  // Two engines on one thread (the sharded-cluster shape): each engine's
+  // counter must reflect only its own events, not a process-wide total.
+  Simulation a, b;
+  struct Big {
+    char pad[InlineTask::kInlineSize + 64];
+  };
+  Big big{};
+  a.schedule(1, [big] { (void)big.pad; });
+  b.schedule(1, [] {});
+  EXPECT_EQ(a.counters().task_heap_fallbacks, 1u);
+  EXPECT_EQ(b.counters().task_heap_fallbacks, 0u);
+  a.run();
+  b.run();
+}
+
 TEST(Simulation, MoveOnlyCaptureSupported) {
   Simulation sim;
   auto p = std::make_unique<int>(41);

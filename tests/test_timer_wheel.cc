@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/simulation.h"
+#include "sim/timer_wheel.h"
+
+namespace mdsim {
+namespace {
+
+struct Fired {
+  std::uint32_t index;
+  std::uint32_t stamp;
+  SimTime at;
+};
+
+/// A wheel wired to record every firing with its simulated timestamp.
+struct WheelHarness {
+  Simulation sim;
+  std::vector<Fired> fired;
+  TimerWheel wheel;
+
+  explicit WheelHarness(SimTime granularity = from_micros(128),
+                        std::uint32_t slots = 1u << 16)
+      : wheel(
+            sim,
+            [this](std::uint32_t i, std::uint32_t s) {
+              fired.push_back({i, s, sim.now()});
+            },
+            granularity, slots) {}
+};
+
+TEST(TimerWheel, QuantizesUpNeverEarly) {
+  WheelHarness h(100);
+  const SimTime dues[] = {1, 37, 99, 100, 101, 250, 537};
+  std::uint32_t idx = 0;
+  for (SimTime due : dues) h.wheel.arm(idx++, 0, due);
+  h.sim.run();
+  ASSERT_EQ(h.fired.size(), std::size(dues));
+  for (const Fired& f : h.fired) {
+    const SimTime due = dues[f.index];
+    EXPECT_GE(f.at, due) << "fired early";
+    EXPECT_LT(f.at - due, 100) << "more than one granule late";
+    EXPECT_EQ(f.at % 100, 0u) << "not on a bucket boundary";
+  }
+}
+
+TEST(TimerWheel, ExactBoundaryKeepsItsBoundary) {
+  WheelHarness h(100);
+  h.wheel.arm(0, 0, 300);
+  h.sim.run();
+  ASSERT_EQ(h.fired.size(), 1u);
+  EXPECT_EQ(h.fired[0].at, 300);
+}
+
+TEST(TimerWheel, BucketFiresInInsertionOrder) {
+  WheelHarness h(100);
+  // All five land in the 200-tick bucket; 150 and 200 quantize to the
+  // same boundary as the rest.
+  h.wheel.arm(3, 0, 150);
+  h.wheel.arm(1, 0, 200);
+  h.wheel.arm(4, 0, 101);
+  h.wheel.arm(0, 0, 199);
+  h.wheel.arm(2, 0, 150);
+  h.sim.run();
+  ASSERT_EQ(h.fired.size(), 5u);
+  const std::uint32_t want[] = {3, 1, 4, 0, 2};
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(h.fired[i].index, want[i]);
+    EXPECT_EQ(h.fired[i].at, 200);
+  }
+}
+
+TEST(TimerWheel, StampIsEchoedVerbatim) {
+  WheelHarness h(100);
+  h.wheel.arm(7, 0xdeadbeefu, 50);
+  h.sim.run();
+  ASSERT_EQ(h.fired.size(), 1u);
+  EXPECT_EQ(h.fired[0].index, 7u);
+  EXPECT_EQ(h.fired[0].stamp, 0xdeadbeefu);
+}
+
+TEST(TimerWheel, LappedEntryFiresOnTheRightRevolution) {
+  // Horizon = 8 slots x 100 = 800; due 2500 is three revolutions out.
+  WheelHarness h(100, 8);
+  h.wheel.arm(0, 0, 2500);
+  h.sim.run();
+  ASSERT_EQ(h.fired.size(), 1u);
+  EXPECT_EQ(h.fired[0].at, 2500);
+  EXPECT_EQ(h.wheel.fired(), 1u);
+  EXPECT_EQ(h.wheel.armed(), 0u);
+}
+
+TEST(TimerWheel, FirstArmBeyondHorizonStillWakes) {
+  // Regression: with nothing pending, an arm whose lap count is nonzero
+  // must still start the wake chain (the bucket's next occurrence), or
+  // the entry sleeps forever.
+  WheelHarness h(100, 8);
+  h.wheel.arm(0, 0, 2500);
+  EXPECT_GT(h.sim.events_pending(), 0u)
+      << "no engine event armed for a lapped entry";
+  h.sim.run();
+  ASSERT_EQ(h.fired.size(), 1u);
+  EXPECT_EQ(h.fired[0].at, 2500);
+}
+
+TEST(TimerWheel, IdleGapDoesNotInflateLapCounts) {
+  // Regression: current_tick_ used to advance only when a bucket fired,
+  // so arming after a long idle stretch measured the lap count from the
+  // last firing — the timer fired revolutions late.
+  WheelHarness h(100, 8);
+  h.wheel.arm(0, 1, 100);
+  h.sim.run();  // wheel now idle at t=100
+  // Idle through many revolutions of the 800-tick horizon.
+  h.sim.schedule(9900, [] {});
+  h.sim.run();
+  ASSERT_EQ(h.sim.now(), 10000);
+  h.wheel.arm(0, 2, 10050);
+  h.sim.run();
+  ASSERT_EQ(h.fired.size(), 2u);
+  EXPECT_EQ(h.fired[1].stamp, 2u);
+  EXPECT_EQ(h.fired[1].at, 10100) << "fired on the wrong revolution";
+}
+
+TEST(TimerWheel, DueNowFiresAtNextTick) {
+  WheelHarness h(100);
+  h.sim.schedule(500, [] {});
+  h.sim.run();
+  ASSERT_EQ(h.sim.now(), 500);
+  h.wheel.arm(0, 0, 500);  // due == now: next boundary, never the past
+  h.sim.run();
+  ASSERT_EQ(h.fired.size(), 1u);
+  EXPECT_EQ(h.fired[0].at, 600);
+}
+
+TEST(TimerWheel, RearmFromFireCallbackLandsInSameBucketNextLap) {
+  // Firing may arm into the very bucket being serviced; the swap-out in
+  // service() must keep that entry for the *next* revolution.
+  Simulation sim;
+  std::vector<SimTime> at;
+  TimerWheel* wheel = nullptr;
+  TimerWheel w(
+      sim,
+      [&](std::uint32_t idx, std::uint32_t) {
+        at.push_back(sim.now());
+        if (at.size() < 3) wheel->arm(idx, 0, sim.now() + 800);
+      },
+      100, 8);
+  wheel = &w;
+  w.arm(0, 0, 100);
+  sim.run();
+  ASSERT_EQ(at.size(), 3u);
+  EXPECT_EQ(at[0], 100);
+  EXPECT_EQ(at[1], 900);
+  EXPECT_EQ(at[2], 1700);
+}
+
+TEST(TimerWheel, CountersTrackArmAndFire) {
+  WheelHarness h(100);
+  h.wheel.arm(0, 0, 100);
+  h.wheel.arm(1, 0, 200);
+  EXPECT_EQ(h.wheel.armed(), 2u);
+  EXPECT_EQ(h.wheel.fired(), 0u);
+  h.sim.run();
+  EXPECT_EQ(h.wheel.armed(), 0u);
+  EXPECT_EQ(h.wheel.fired(), 2u);
+}
+
+TEST(TimerWheel, ManyTimersOneEngineEventPerBoundary) {
+  // The wheel's reason to exist: N timers in one bucket cost one engine
+  // event, not N.
+  WheelHarness h(100);
+  for (std::uint32_t i = 0; i < 1000; ++i) h.wheel.arm(i, 0, 499);
+  const std::uint64_t before = h.sim.events_executed();
+  h.sim.run();
+  EXPECT_EQ(h.fired.size(), 1000u);
+  EXPECT_EQ(h.sim.events_executed() - before, 1u);
+}
+
+}  // namespace
+}  // namespace mdsim
