@@ -28,6 +28,7 @@ ClientCohort::ClientCohort(Simulation& sim, Network& net, FsTree& tree,
           },
           kMillisecond) {
   assert(count > 0);
+  wheel_.set_bucket_end_hook([this]() { flush_turn_stats(); });
   const std::size_t n = static_cast<std::size_t>(count);
   ports_.resize(n);  // never resized again: Port addresses must be stable
   uids_.resize(n);
@@ -167,7 +168,9 @@ void ClientCohort::issue(std::uint32_t idx) {
   msg->client = client_id(static_cast<int>(idx));
   inflight_[idx] = msg->req_id;
   issued_at_[idx] = sim_.now();
-  ++stats_.ops_issued;
+  // Wheel-scope counter: every issue happens inside a bucket service
+  // (think or retry fire), so the bucket-end hook folds it into stats_.
+  ++pending_stats_.issued;
 
   if (remote_[idx] != 0) {
     // Cross-shard stat: the catalog entry names a remote MDS by global
@@ -216,12 +219,12 @@ void ClientCohort::issue(std::uint32_t idx) {
 void ClientCohort::give_up(std::uint32_t idx) {
   inflight_[idx] = 0;
   attempts_[idx] = 0;
-  ++stats_.ops_failed;
+  ++pending_stats_.failed;  // reached only from timeout/retry fires
   schedule_next(idx);
 }
 
 void ClientCohort::on_timeout(std::uint32_t idx) {
-  ++stats_.retries;
+  ++pending_stats_.retries;
   ++attempts_[idx];
   if (remote_[idx] == 0 && !tree_.alive(pending_[idx].target)) {
     give_up(idx);

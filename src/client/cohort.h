@@ -146,6 +146,22 @@ class ClientCohort {
   std::uint64_t remote_issued_ = 0;
 
   ClientStats stats_;
+  /// Turn counters accumulated during one wheel-bucket service and folded
+  /// into stats_ by the bucket-end hook: one stats update per bucket, not
+  /// one per timer. Reply-path counters (completions, latency) are driven
+  /// by network delivery, not the wheel, and update stats_ directly.
+  struct PendingTurnStats {
+    std::uint32_t issued = 0;
+    std::uint32_t retries = 0;
+    std::uint32_t failed = 0;
+  };
+  PendingTurnStats pending_stats_;
+  void flush_turn_stats() {
+    stats_.ops_issued += pending_stats_.issued;
+    stats_.retries += pending_stats_.retries;
+    stats_.ops_failed += pending_stats_.failed;
+    pending_stats_ = PendingTurnStats{};
+  }
 };
 
 }  // namespace mdsim

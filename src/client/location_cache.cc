@@ -2,32 +2,73 @@
 
 namespace mdsim {
 
-void LocationCache::learn(const std::vector<LocationHint>& hints) {
-  for (const LocationHint& h : hints) {
-    if (hints_.size() >= capacity_ && hints_.count(h.ino) == 0) {
-      // Cheap pressure valve: drop an arbitrary entry. Client knowledge is
-      // allowed to be lossy — that is the design point.
-      hints_.erase(hints_.begin());
+void LocationCache::grow(std::size_t new_slots) {
+  std::vector<LocationHint> old = std::move(slots_);
+  slots_.assign(new_slots, LocationHint{});
+  size_ = 0;
+  for (const LocationHint& h : old) {
+    if (h.ino != kInvalidInode) insert(h);
+  }
+}
+
+void LocationCache::insert(const LocationHint& h) {
+  std::size_t i = slot_of(h.ino);
+  for (;;) {
+    LocationHint& s = slots_[i];
+    if (s.ino == h.ino) {
+      s = h;
+      return;
     }
-    hints_[h.ino] = h;
+    if (s.ino == kInvalidInode) {
+      s = h;
+      ++size_;
+      return;
+    }
+    i = (i + 1) & (slots_.size() - 1);
+  }
+}
+
+void LocationCache::learn(const LocationHint* hints, std::size_t n) {
+  for (std::size_t k = 0; k < n; ++k) {
+    if (hints[k].ino == kInvalidInode) continue;
+    if (slots_.empty()) grow(64);
+    if (size_ >= capacity_) {
+      // Pressure valve: client knowledge is allowed to be lossy — that is
+      // the design point. Resetting beats per-entry eviction bookkeeping
+      // on a path this hot, and the default capacity makes it a
+      // never-in-practice fallback.
+      clear();
+      grow(64);
+    } else if ((size_ + 1) * 4 >= slots_.size() * 3) {
+      grow(slots_.size() * 2);
+    }
+    insert(hints[k]);
   }
 }
 
 const LocationHint* LocationCache::hint_for(InodeId ino) const {
-  auto it = hints_.find(ino);
-  return it == hints_.end() ? nullptr : &it->second;
+  if (slots_.empty() || ino == kInvalidInode) return nullptr;
+  std::size_t i = slot_of(ino);
+  for (;;) {
+    const LocationHint& s = slots_[i];
+    if (s.ino == ino) return &s;
+    if (s.ino == kInvalidInode) return nullptr;
+    i = (i + 1) & (slots_.size() - 1);
+  }
 }
 
 MdsId LocationCache::resolve(const FsNode* target, Rng& rng,
                              int num_mds) const {
-  for (const FsNode* n = target; n != nullptr; n = n->parent()) {
-    auto it = hints_.find(n->ino());
-    if (it == hints_.end()) continue;
-    const LocationHint& h = it->second;
-    if (h.replicated_everywhere) {
-      return static_cast<MdsId>(rng.uniform(static_cast<std::uint64_t>(num_mds)));
+  if (!slots_.empty()) {
+    for (const FsNode* n = target; n != nullptr; n = n->parent()) {
+      const LocationHint* h = hint_for(n->ino());
+      if (h == nullptr) continue;
+      if (h->replicated_everywhere) {
+        return static_cast<MdsId>(
+            rng.uniform(static_cast<std::uint64_t>(num_mds)));
+      }
+      return h->authority;
     }
-    return h.authority;
   }
   return static_cast<MdsId>(rng.uniform(static_cast<std::uint64_t>(num_mds)));
 }

@@ -6,10 +6,17 @@
 // on the *deepest known prefix* of the target path. Stale knowledge (after
 // load balancing moved a subtree) produces misdirected requests that the
 // cluster forwards — the overhead measured in Figure 6.
+//
+// Storage is a flat open-addressed table rather than an unordered_map:
+// resolve() probes once per ancestor of every issued request (the hottest
+// client-side path at cohort scale), and learn() runs once per hint in
+// every reply. A hint's own ino is the key (kInvalidInode marks an empty
+// slot), so the table is a bare vector of hints with linear probing and
+// no per-insert allocation.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/types.h"
@@ -20,11 +27,20 @@ namespace mdsim {
 
 class LocationCache {
  public:
-  /// `capacity`: max cached hints (simple random-ish eviction beyond it).
+  /// `capacity`: max cached hints. Client knowledge is allowed to be
+  /// lossy; at capacity the table is simply reset (a pressure valve that
+  /// never fires at the default size in practice).
   explicit LocationCache(std::size_t capacity = 65536)
       : capacity_(capacity) {}
 
-  void learn(const std::vector<LocationHint>& hints);
+  void learn(const LocationHint* hints, std::size_t n);
+  template <typename Container>
+  void learn(const Container& hints) {
+    if (!hints.empty()) learn(hints.data(), hints.size());
+  }
+  void learn(std::initializer_list<LocationHint> hints) {
+    learn(hints.begin(), hints.size());
+  }
 
   /// Pick the MDS to contact for `target`: the hint on the deepest known
   /// prefix. Replicated-everywhere prefixes resolve to a uniformly random
@@ -32,16 +48,29 @@ class LocationCache {
   /// "requests are directed randomly").
   MdsId resolve(const FsNode* target, Rng& rng, int num_mds) const;
 
-  std::size_t size() const { return hints_.size(); }
+  std::size_t size() const { return size_; }
   const LocationHint* hint_for(InodeId ino) const;
 
   /// Drop everything (the cluster told us its authority layout was
   /// reconfigured; per-item invalidation is not worth modeling).
-  void clear() { hints_.clear(); }
+  void clear() {
+    slots_.clear();
+    size_ = 0;
+  }
 
  private:
+  std::size_t slot_of(InodeId ino) const {
+    // Fibonacci scramble so sequential inos spread across the table.
+    return static_cast<std::size_t>(ino * 0x9e3779b97f4a7c15ULL) &
+           (slots_.size() - 1);
+  }
+  void insert(const LocationHint& h);
+  void grow(std::size_t new_slots);
+
   std::size_t capacity_;
-  std::unordered_map<InodeId, LocationHint> hints_;
+  std::size_t size_ = 0;
+  /// Power-of-two table; slot.ino == kInvalidInode means empty.
+  std::vector<LocationHint> slots_;
 };
 
 }  // namespace mdsim

@@ -1,0 +1,113 @@
+// Small vector with inline storage for trivially copyable elements.
+//
+// Reply payloads (location hints) and other per-operation lists have a
+// small, bounded typical size but a rare long tail. std::vector pays one
+// heap allocation per instance regardless; InlineVec keeps the first N
+// elements in the object itself and only touches the heap when the tail
+// actually occurs. Restricted to trivially copyable T so growth and copies
+// are memcpy and destruction of spilled storage is a single free.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace mdsim {
+
+template <typename T, std::size_t N>
+class InlineVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "InlineVec is for POD-ish payload elements");
+
+ public:
+  InlineVec() = default;
+  InlineVec(const InlineVec& o) { assign(o.data(), o.size_); }
+  InlineVec(InlineVec&& o) noexcept { steal(o); }
+  InlineVec& operator=(const InlineVec& o) {
+    if (this != &o) {
+      size_ = 0;
+      assign(o.data(), o.size_);
+    }
+    return *this;
+  }
+  InlineVec& operator=(InlineVec&& o) noexcept {
+    if (this != &o) {
+      release();
+      steal(o);
+    }
+    return *this;
+  }
+  ~InlineVec() { release(); }
+
+  T* data() { return heap_ != nullptr ? heap_ : inline_; }
+  const T* data() const { return heap_ != nullptr ? heap_ : inline_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  void clear() { size_ = 0; }
+
+  T& operator[](std::size_t i) { return data()[i]; }
+  const T& operator[](std::size_t i) const { return data()[i]; }
+  T& front() { return data()[0]; }
+  const T& front() const { return data()[0]; }
+  T& back() { return data()[size_ - 1]; }
+  const T& back() const { return data()[size_ - 1]; }
+  T* begin() { return data(); }
+  T* end() { return data() + size_; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size_; }
+
+  void push_back(const T& v) {
+    if (size_ == cap_) grow(cap_ * 2);
+    data()[size_++] = v;
+  }
+
+  void reserve(std::size_t n) {
+    if (n > cap_) grow(n);
+  }
+
+  void assign(const T* src, std::size_t n) {
+    reserve(n);
+    std::memcpy(data(), src, n * sizeof(T));
+    size_ = n;
+  }
+
+ private:
+  void grow(std::size_t want) {
+    std::size_t cap = cap_;
+    while (cap < want) cap *= 2;
+    T* fresh = new T[cap];
+    std::memcpy(fresh, data(), size_ * sizeof(T));
+    delete[] heap_;
+    heap_ = fresh;
+    cap_ = cap;
+  }
+  void release() {
+    delete[] heap_;
+    heap_ = nullptr;
+    cap_ = N;
+    size_ = 0;
+  }
+  void steal(InlineVec& o) {
+    if (o.heap_ != nullptr) {
+      heap_ = o.heap_;
+      cap_ = o.cap_;
+      size_ = o.size_;
+      o.heap_ = nullptr;
+      o.cap_ = N;
+      o.size_ = 0;
+    } else {
+      heap_ = nullptr;
+      cap_ = N;
+      assign(o.inline_, o.size_);
+      o.size_ = 0;
+    }
+  }
+
+  T inline_[N];
+  T* heap_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t cap_ = N;
+};
+
+}  // namespace mdsim

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cassert>
 
+#include "workload/flash_crowd.h"
 #include "workload/general.h"
 #include "workload/op_mix.h"
+#include "workload/scientific.h"
+#include "workload/shifting.h"
 
 namespace mdsim {
 
@@ -43,8 +46,6 @@ ShardedClusterSim::ShardedClusterSim(SimConfig config)
   assert(config_.shards >= 1 && config_.shards <= kMaxShards);
   assert(config_.net.cross_base_latency > 0 &&
          "cross-shard lookahead requires a positive base latency");
-  assert(config_.workload == WorkloadKind::kGeneral &&
-         "sharded runs support the general-purpose workload only");
   fabric_.owner = this;
 }
 
@@ -105,9 +106,49 @@ void ShardedClusterSim::build_shard(int s) {
   }
   for (auto& node : sh.mds_nodes) node->bootstrap();
 
-  sh.workload = std::make_unique<GeneralWorkload>(
-      sh.tree, sh.ns_info.user_roots, OpMix::general_purpose(),
-      config_.general);
+  // Mirror ClusterSim's workload wiring, applied per shard: each shard's
+  // workload draws targets from that shard's own tree (flash-crowd target,
+  // shift destinations and all), so an S-shard run behaves like S
+  // correlated instances of the legacy scenario.
+  switch (config_.workload) {
+    case WorkloadKind::kGeneral:
+      sh.workload = std::make_unique<GeneralWorkload>(
+          sh.tree, sh.ns_info.user_roots, OpMix::general_purpose(),
+          config_.general);
+      break;
+    case WorkloadKind::kScientific: {
+      std::vector<FsNode*> runs;
+      for (FsNode* proj : sh.ns_info.project_roots) {
+        for (const auto& [_, child] : proj->children()) {
+          if (child->is_dir()) runs.push_back(child.get());
+        }
+      }
+      if (runs.empty()) runs = sh.ns_info.user_roots;  // degenerate config
+      sh.workload = std::make_unique<ScientificWorkload>(
+          sh.tree, std::move(runs), config_.scientific);
+      break;
+    }
+    case WorkloadKind::kFlashCrowd: {
+      // One crowd target per shard, picked by the shard-decorrelated seed
+      // so the S crowds hit distinct (but deterministic) files.
+      assert(!sh.tree.files().empty());
+      FsNode* target = sh.tree.files()[shard_seed(config_.seed, s) %
+                                       sh.tree.files().size()];
+      sh.workload = std::make_unique<FlashCrowdWorkload>(sh.tree, target,
+                                                         config_.flash);
+      break;
+    }
+    case WorkloadKind::kShifting: {
+      auto* subtree = dynamic_cast<SubtreePartition*>(sh.partition.get());
+      assert(subtree != nullptr &&
+             "shifting workload requires a subtree strategy");
+      ShiftingWorkloadParams sp = config_.shifting;
+      sp.base = config_.general;
+      sh.workload = make_shifting_workload(sh.tree, sh.ns_info.user_roots,
+                                           *subtree, sp);
+      break;
+    }
+  }
 
   if (config_.trace.enabled) {
     sh.tracer = std::make_unique<TraceCollector>(config_.trace.slowest_n);

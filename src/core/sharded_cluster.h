@@ -14,8 +14,10 @@
 //
 // Deliberate non-goals, documented in DESIGN.md §5f: fault injection,
 // partitions and MDS crash/recovery stay intra-shard concepts; sharded
-// runs model healthy scale-out. Only the general-purpose workload is
-// supported (the scale experiments use it exclusively).
+// runs model healthy scale-out. Every workload kind is supported, wired
+// per shard against that shard's own tree (a flash crowd picks one target
+// per shard; a shifting run moves each shard's clients within its own
+// namespace).
 #pragma once
 
 #include <memory>

@@ -27,6 +27,18 @@ std::uint64_t child_path_hash(const FsNode* dir, const std::string& name) {
   return chain_hash(dir->path_hash(), name);
 }
 
+namespace {
+/// Keep the flat child mirror in the map's name order. Names are unique
+/// within a directory, so lower_bound lands exactly on the child (erase)
+/// or its insertion point (insert).
+auto list_pos(std::vector<FsNode*>& v, const std::string& name) {
+  return std::lower_bound(v.begin(), v.end(), name,
+                          [](const FsNode* a, const std::string& n) {
+                            return a->name() < n;
+                          });
+}
+}  // namespace
+
 FsNode* FsNode::child(const std::string& name) const {
   auto it = children_.find(name);
   return it == children_.end() ? nullptr : it->second.get();
@@ -48,9 +60,14 @@ std::string FsNode::path() const {
 
 std::vector<FsNode*> FsNode::ancestry() {
   std::vector<FsNode*> chain;
-  for (FsNode* n = this; n != nullptr; n = n->parent_) chain.push_back(n);
-  std::reverse(chain.begin(), chain.end());
+  ancestry_into(chain);
   return chain;
+}
+
+void FsNode::ancestry_into(std::vector<FsNode*>& out) {
+  out.clear();
+  for (FsNode* n = this; n != nullptr; n = n->parent_) out.push_back(n);
+  std::reverse(out.begin(), out.end());
 }
 
 FsTree::FsTree() {
@@ -60,14 +77,14 @@ FsTree::FsTree() {
   root_->inode_.type = FileType::kDirectory;
   root_->inode_.nlink = 2;
   root_->depth_ = 0;
-  by_ino_[kRootInode] = root_.get();
+  index_ino(kRootInode, root_.get());
   root_->dir_index_ = dirs_.size();
   dirs_.push_back(root_.get());
   node_count_ = 1;
 }
 
 void FsTree::index_node(FsNode* node) {
-  by_ino_[node->ino()] = node;
+  index_ino(node->ino(), node);
   if (node->is_dir()) {
     node->dir_index_ = dirs_.size();
     dirs_.push_back(node);
@@ -79,7 +96,7 @@ void FsTree::index_node(FsNode* node) {
 }
 
 void FsTree::unindex_node(FsNode* node) {
-  by_ino_.erase(node->ino());
+  by_ino_[node->ino()] = nullptr;
   auto swap_pop = [](std::vector<FsNode*>& v, std::size_t idx, bool is_dir) {
     assert(idx < v.size() && "node not present in sampling index");
     FsNode* last = v.back();
@@ -121,6 +138,7 @@ FsNode* FsTree::attach(FsNode* dir, std::unique_ptr<FsNode> node) {
   raw->path_hash_ = chain_hash(dir->path_hash_, raw->name_);
   auto [it, inserted] = dir->children_.emplace(raw->name_, std::move(node));
   if (!inserted) return nullptr;
+  dir->child_list_.insert(list_pos(dir->child_list_, raw->name_), raw);
   index_node(raw);
   adjust_subtree_sizes(dir, +1);
   return raw;
@@ -170,6 +188,7 @@ bool FsTree::remove(FsNode* node) {
   assert(it != dir->children_.end());
   graveyard_.push_back(std::move(it->second));
   dir->children_.erase(it);
+  dir->child_list_.erase(list_pos(dir->child_list_, node->name_));
   bump_version(dir, dir->inode_.ctime);
   return true;
 }
@@ -186,6 +205,8 @@ bool FsTree::rename(FsNode* node, FsNode* new_parent,
   assert(it != old_parent->children_.end());
   std::unique_ptr<FsNode> owned = std::move(it->second);
   old_parent->children_.erase(it);
+  old_parent->child_list_.erase(
+      list_pos(old_parent->child_list_, node->name_));
   const auto moved = static_cast<std::int64_t>(node->subtree_size_);
   adjust_subtree_sizes(old_parent, -moved);
 
@@ -193,6 +214,8 @@ bool FsTree::rename(FsNode* node, FsNode* new_parent,
   owned->parent_ = new_parent;
   FsNode* raw = owned.get();
   new_parent->children_.emplace(new_name, std::move(owned));
+  new_parent->child_list_.insert(list_pos(new_parent->child_list_, new_name),
+                                 raw);
   adjust_subtree_sizes(new_parent, +moved);
 
   // Depths and path hashes of the whole moved subtree change.
@@ -239,11 +262,6 @@ FsNode* FsTree::lookup(const std::string& path) const {
     if (cur == nullptr) return nullptr;
   }
   return cur;
-}
-
-FsNode* FsTree::by_ino(InodeId ino) const {
-  auto it = by_ino_.find(ino);
-  return it == by_ino_.end() ? nullptr : it->second;
 }
 
 bool FsTree::is_ancestor_of(const FsNode* ancestor, const FsNode* node) {

@@ -15,7 +15,6 @@
 #include <map>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "fstree/inode.h"
@@ -44,6 +43,12 @@ class FsNode {
   const std::map<std::string, std::unique_ptr<FsNode>>& children() const {
     return children_;
   }
+  /// The same children in the same name order as a flat pointer array,
+  /// maintained by FsTree on attach/remove/rename. The workload and MDS
+  /// request paths scan a directory's children once per generated op;
+  /// walking this array touches a few contiguous cache lines where the
+  /// map walk chases one rb-tree node (plus a string) per child.
+  const std::vector<FsNode*>& children_list() const { return child_list_; }
   std::size_t child_count() const { return children_.size(); }
   FsNode* child(const std::string& name) const;
 
@@ -57,6 +62,11 @@ class FsNode {
   /// Ancestors from the root down to (and including) this node.
   std::vector<FsNode*> ancestry();
 
+  /// Same chain written into `out` (cleared first), reusing its capacity —
+  /// the hot paths call this hundreds of thousands of times per run and
+  /// must not pay a heap allocation per call.
+  void ancestry_into(std::vector<FsNode*>& out);
+
  private:
   friend class FsTree;
   std::string name_;
@@ -65,6 +75,7 @@ class FsNode {
   std::uint32_t depth_ = 0;
   std::uint64_t path_hash_ = 0;
   std::map<std::string, std::unique_ptr<FsNode>> children_;
+  std::vector<FsNode*> child_list_;  // name-ordered mirror of children_
   std::uint64_t subtree_size_ = 1;
   // Positions in FsTree's sampling vectors (SIZE_MAX = not present).
   std::size_t file_index_ = SIZE_MAX;
@@ -116,7 +127,13 @@ class FsTree {
 
   // --- Lookup ------------------------------------------------------------
   FsNode* lookup(const std::string& path) const;
-  FsNode* by_ino(InodeId ino) const;
+  /// O(1) dense lookup: inode numbers are handed out sequentially, so the
+  /// index is a flat vector (tombstoned inos read back as nullptr). This
+  /// is the single hottest map in the simulator (~1 lookup per traversal
+  /// step per layer).
+  FsNode* by_ino(InodeId ino) const {
+    return ino < by_ino_.size() ? by_ino_[ino] : nullptr;
+  }
   /// True while `node` is still linked into the hierarchy (not tombstoned).
   bool alive(const FsNode* node) const {
     return by_ino(node->ino()) == node;
@@ -143,9 +160,14 @@ class FsTree {
   void adjust_subtree_sizes(FsNode* from, std::int64_t delta);
   void bump_version(FsNode* node, SimTime now);
 
+  void index_ino(InodeId ino, FsNode* node) {
+    if (ino >= by_ino_.size()) by_ino_.resize(ino + 1, nullptr);
+    by_ino_[ino] = node;
+  }
+
   std::unique_ptr<FsNode> root_;
   std::vector<std::unique_ptr<FsNode>> graveyard_;
-  std::unordered_map<InodeId, FsNode*> by_ino_;
+  std::vector<FsNode*> by_ino_;  // dense: indexed by InodeId
   std::vector<FsNode*> files_;
   std::vector<FsNode*> dirs_;
   std::vector<RemoteLink> links_;

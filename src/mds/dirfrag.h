@@ -25,7 +25,9 @@ class DirFragRegistry {
   explicit DirFragRegistry(int num_mds) : num_mds_(num_mds) {}
 
   bool is_fragmented(InodeId dir) const {
-    return fragmented_.count(dir) != 0;
+    // Fragmentation is rare; the registry is empty in most runs and this
+    // is queried on every authority resolution.
+    return !fragmented_.empty() && fragmented_.count(dir) != 0;
   }
 
   void fragment(InodeId dir) { fragmented_.insert({dir, true}); }

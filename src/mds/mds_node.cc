@@ -1,5 +1,6 @@
 #include "mds/mds_node.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace mdsim {
@@ -170,35 +171,93 @@ void MdsNode::on_message(NetAddr from, MessagePtr msg) {
   }
 }
 
+void MdsNode::on_message_batch(Delivery* items, std::size_t n) {
+  if (failed_) return;  // dead nodes answer nothing
+  // Contiguous client-request runs take the amortized path; anything else
+  // goes one message at a time. Processing stays strictly in batch order.
+  std::size_t i = 0;
+  while (i < n) {
+    if (items[i].msg->type == MsgType::kClientRequest) {
+      std::size_t j = i + 1;
+      while (j < n && items[j].msg->type == MsgType::kClientRequest) ++j;
+      handle_client_request_run(items + i, j - i);
+      i = j;
+    } else {
+      on_message(items[i].from, std::move(items[i].msg));
+      ++i;
+    }
+  }
+}
+
 // --------------------------------------------------------------------------
 // Client request path
 // --------------------------------------------------------------------------
 
-void MdsNode::handle_client_request(ClientRequestMsg msg, NetAddr reply_to) {
+bool MdsNode::is_duplicate_update(const ClientRequestMsg& msg) {
   // Duplicate-delivery idempotence: a network-duplicated update must not
   // apply twice. Client req_ids are per-client monotone and every retry
   // re-issues under a fresh id, so an id at or below the per-client
   // high-water mark is an exact duplicate of a request this node already
   // accepted — drop it (the original's reply is on its way; reads are
   // naturally idempotent and skip the check).
-  if (op_is_update(msg.op) && msg.client_addr != kInvalidAddr) {
-    auto [it, inserted] = seen_update_req_.try_emplace(msg.client_addr, 0);
-    if (!inserted && msg.req_id <= it->second) {
-      ++stats_.duplicate_updates_dropped;
-      return;
-    }
-    it->second = msg.req_id;
+  if (!op_is_update(msg.op) || msg.client_addr == kInvalidAddr) return false;
+  // Local addresses are small and dense (MDS ids, then client ids), so
+  // the high-water marks live in a flat vector; only cross-shard global
+  // addresses (sparse, rare) fall back to the map.
+  std::uint64_t* seen;
+  if (!is_shard_global(msg.client_addr)) {
+    const auto a = static_cast<std::size_t>(msg.client_addr);
+    if (a >= seen_update_req_.size()) seen_update_req_.resize(a + 1, 0);
+    seen = &seen_update_req_[a];
+  } else {
+    seen = &seen_update_req_global_[msg.client_addr];
   }
-  ++stats_.requests_received;
-  if (msg.hops == 0) stats_.request_rate.add();
+  if (msg.req_id <= *seen) return true;
+  *seen = msg.req_id;
+  return false;
+}
+
+void MdsNode::admit_client_request(ClientRequestMsg&& msg, NetAddr reply_to) {
   // Close the link segment: client -> here (first hop) or peer -> here.
   trace_mark(msg, msg.hops == 0 ? TraceStage::kNetRequest
                                 : TraceStage::kNetForward);
-
-  auto req = std::make_shared<Request>();
+  RequestPtr req = make_request();
   req->msg = std::move(msg);
   req->reply_to = reply_to;
   route(std::move(req));
+}
+
+void MdsNode::handle_client_request(ClientRequestMsg msg, NetAddr reply_to) {
+  if (is_duplicate_update(msg)) {
+    ++stats_.duplicate_updates_dropped;
+    return;
+  }
+  ++stats_.requests_received;
+  if (msg.hops == 0) stats_.request_rate.add();
+  admit_client_request(std::move(msg), reply_to);
+}
+
+void MdsNode::handle_client_request_run(Delivery* items, std::size_t n) {
+  // Per-message admission is unchanged; only the stats counter updates are
+  // folded into one add per run, which is exact — the counters are plain
+  // sums, so `+= k` equals k increments.
+  std::uint64_t accepted = 0;
+  std::uint64_t first_hop = 0;
+  std::uint64_t dropped = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (failed_) break;  // a mid-batch handler may have killed this node
+    auto& msg = static_cast<ClientRequestMsg&>(*items[i].msg);
+    if (is_duplicate_update(msg)) {
+      ++dropped;
+      continue;
+    }
+    ++accepted;
+    first_hop += msg.hops == 0;
+    admit_client_request(std::move(msg), items[i].from);
+  }
+  stats_.duplicate_updates_dropped += dropped;
+  stats_.requests_received += accepted;
+  if (first_hop != 0) stats_.request_rate.add(first_hop);
 }
 
 void MdsNode::route(RequestPtr req) {
@@ -294,15 +353,21 @@ void MdsNode::serve(RequestPtr req) {
     ++stats_.lh_traversal_fixups;
   }
   if (need_chain) {
-    req->chain = req->target->ancestry();  // root .. target
+    req->target->ancestry_into(req->chain);  // root .. target
     if (!op_is_update(req->msg.op)) {
       req->chain.pop_back();  // reads handle the target themselves
     }
     // Updates keep the target in the chain: the authority must have the
     // item resident (fetching it if cold) before serializing the change.
     if (req->secondary != nullptr) {
-      // Rename/link: the second directory's prefixes are needed too.
-      for (FsNode* n : req->secondary->ancestry()) req->chain.push_back(n);
+      // Rename/link: the second directory's prefixes are needed too
+      // (appended in root-down order without a temporary vector).
+      const std::size_t base = req->chain.size();
+      for (FsNode* n = req->secondary; n != nullptr; n = n->parent()) {
+        req->chain.push_back(n);
+      }
+      std::reverse(req->chain.begin() + static_cast<std::ptrdiff_t>(base),
+                   req->chain.end());
     }
   } else if (op_is_update(req->msg.op)) {
     // Lazy Hybrid update on a fresh item: no prefix traversal, but the
@@ -645,7 +710,7 @@ void MdsNode::reply(RequestPtr req, bool success, InodeId result_ino) {
   out->hops = req->msg.hops;
   out->result_ino = result_ino;
   out->epoch = view_epoch_;
-  if (success) out->hints = build_hints(req);
+  if (success) fill_hints(req, *out);
   ++stats_.replies_sent;
   stats_.reply_rate.add();
   ctx_.net.send(id_, req->reply_to, std::move(out));
@@ -725,7 +790,8 @@ void MdsNode::clear_cache_for_rejoin() {
   cache_.clear_fetch_waiters();
   parked_.clear();
   pending_takeover_.clear();
-  seen_update_req_.clear();
+  seen_update_req_.assign(seen_update_req_.size(), 0);
+  seen_update_req_global_.clear();
   inbound_done_.clear();
 }
 

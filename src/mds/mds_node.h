@@ -124,6 +124,11 @@ class MdsNode final : public NetEndpoint {
   void bootstrap();
 
   void on_message(NetAddr from, MessagePtr msg) override;
+  /// Amortized dispatch for a same-instant delivery batch: contiguous
+  /// client-request runs fold their per-message stats counter updates into
+  /// one add each; everything else takes the one-message path. Semantics
+  /// are identical to delivering the batch one message at a time.
+  void on_message_batch(Delivery* items, std::size_t n) override;
 
   MdsId id() const { return id_; }
   MdsStats& stats() { return stats_; }
@@ -219,6 +224,10 @@ class MdsNode final : public NetEndpoint {
 
  private:
   // ---- request context --------------------------------------------------
+  /// One in-flight request's state machine context. Pooled: requests are
+  /// recycled through a per-thread free list *without* running their
+  /// destructors between uses, so chain/pinned/name keep their heap
+  /// capacities and steady-state request dispatch performs no allocation.
   struct Request {
     ClientRequestMsg msg;
     NetAddr reply_to = kInvalidAddr;  // client address
@@ -228,11 +237,113 @@ class MdsNode final : public NetEndpoint {
     std::size_t chain_idx = 0;
     std::vector<CacheEntry*> pinned;
     bool counts_as_served = false;
+    std::uint32_t refs = 0;          // intrusive count, owned by RequestPtr
+    Request* pool_next = nullptr;    // free-list link while recycled
   };
-  using RequestPtr = std::shared_ptr<Request>;
+
+  /// Per-thread recycler for Request contexts. Thread-static (not a node
+  /// member) so callbacks still pending in a Simulation at teardown may
+  /// release their requests safely regardless of destruction order; a
+  /// request freed on a different worker thread than it was acquired on
+  /// simply joins that thread's list (the sharded engine's window barrier
+  /// orders the handoff).
+  struct RequestPool {
+    Request* head = nullptr;
+    ~RequestPool() {
+      while (head != nullptr) {
+        Request* next = head->pool_next;
+        delete head;
+        head = next;
+      }
+    }
+    static RequestPool& local() {
+      thread_local RequestPool pool;
+      return pool;
+    }
+  };
+
+  /// shared_ptr stand-in with an intrusive count and pool-recycling
+  /// release: the last reference returns the Request to the thread-local
+  /// pool instead of the heap.
+  class RequestPtr {
+   public:
+    RequestPtr() = default;
+    RequestPtr(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+    RequestPtr(const RequestPtr& o) : p_(o.p_) {
+      if (p_ != nullptr) ++p_->refs;
+    }
+    RequestPtr(RequestPtr&& o) noexcept : p_(o.p_) { o.p_ = nullptr; }
+    RequestPtr& operator=(const RequestPtr& o) {
+      if (p_ != o.p_) {
+        reset();
+        p_ = o.p_;
+        if (p_ != nullptr) ++p_->refs;
+      }
+      return *this;
+    }
+    RequestPtr& operator=(RequestPtr&& o) noexcept {
+      if (this != &o) {
+        reset();
+        p_ = o.p_;
+        o.p_ = nullptr;
+      }
+      return *this;
+    }
+    ~RequestPtr() { reset(); }
+
+    void reset() {
+      if (p_ != nullptr && --p_->refs == 0) {
+        RequestPool& pool = RequestPool::local();
+        p_->pool_next = pool.head;
+        pool.head = p_;
+      }
+      p_ = nullptr;
+    }
+    Request* get() const { return p_; }
+    Request* operator->() const { return p_; }
+    Request& operator*() const { return *p_; }
+    explicit operator bool() const { return p_ != nullptr; }
+    friend bool operator==(const RequestPtr& a, const RequestPtr& b) {
+      return a.p_ == b.p_;
+    }
+
+   private:
+    friend class MdsNode;
+    Request* p_ = nullptr;
+  };
+
+  /// Acquire a recycled (or fresh) Request with clean state but warm
+  /// capacities. msg is *not* fully reset: every call site assigns the
+  /// whole ClientRequestMsg immediately after.
+  static RequestPtr make_request() {
+    RequestPool& pool = RequestPool::local();
+    Request* r = pool.head;
+    if (r != nullptr) {
+      pool.head = r->pool_next;
+    } else {
+      r = new Request;
+    }
+    r->reply_to = kInvalidAddr;
+    r->target = nullptr;
+    r->secondary = nullptr;
+    r->chain.clear();
+    r->chain_idx = 0;
+    r->pinned.clear();
+    r->counts_as_served = false;
+    r->refs = 1;
+    r->pool_next = nullptr;
+    RequestPtr p;
+    p.p_ = r;
+    return p;
+  }
 
   // ---- dispatch (mds_node.cc) -------------------------------------------
   void handle_client_request(ClientRequestMsg msg, NetAddr reply_to);
+  void handle_client_request_run(Delivery* items, std::size_t n);
+  /// Duplicate-delivery check for updates; records the req id when new.
+  bool is_duplicate_update(const ClientRequestMsg& msg);
+  /// Post-dedup tail of request admission: trace, wrap, route.
+  void admit_client_request(ClientRequestMsg&& msg, NetAddr reply_to);
   void route(RequestPtr req);
   void serve(RequestPtr req);
   void serve_target(RequestPtr req);
@@ -391,7 +502,7 @@ class MdsNode final : public NetEndpoint {
   void maybe_replicate(FsNode* node, CacheEntry* entry);
   void maybe_unreplicate();
   void push_unsolicited_replica(FsNode* node, MdsId to);
-  std::vector<LocationHint> build_hints(const RequestPtr& req);
+  void fill_hints(const RequestPtr& req, ClientReplyMsg& out);
   void maybe_fragment_dir(FsNode* dir, CacheEntry* entry);
   void handle_dirfrag_notify(const DirFragNotifyMsg& m);
   /// Drop cached children of `dir` whose dentry authority is no longer
@@ -494,7 +605,10 @@ class MdsNode final : public NetEndpoint {
   /// fresh ids, so an id at or below the high-water mark is an exact
   /// network duplicate). Checked only at network entry, so internal
   /// re-routing (deferred / parked requests) is never miscounted.
-  std::unordered_map<NetAddr, std::uint64_t> seen_update_req_;
+  /// Local (dense) addresses index the vector directly; cross-shard
+  /// global addresses use the sparse fallback map.
+  std::vector<std::uint64_t> seen_update_req_;
+  std::unordered_map<NetAddr, std::uint64_t> seen_update_req_global_;
   /// Highest resolved inbound migration id per exporter (dedup for
   /// duplicated prepares arriving after the migration finished).
   std::unordered_map<MdsId, std::uint64_t> inbound_done_;

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/inline_vec.h"
 #include "common/types.h"
 #include "net/message.h"
 
@@ -70,7 +71,10 @@ struct ClientReplyMsg final : Message {
   /// Server's partition-map epoch. A jump tells the client the authority
   /// layout was reconfigured (takeover/heal): drop learned locations.
   std::uint64_t epoch = 1;
-  std::vector<LocationHint> hints;
+  /// Hints for the target and its prefixes, root-down. Inline up to
+  /// typical path depths: replies are the most numerous message in the
+  /// system and must not drag a heap allocation each.
+  InlineVec<LocationHint, 12> hints;
 };
 
 /// MDS-to-MDS: carry a client request to the authoritative node.

@@ -116,21 +116,44 @@ void MdsNode::maybe_unreplicate() {
   });
 }
 
-std::vector<LocationHint> MdsNode::build_hints(const RequestPtr& req) {
-  std::vector<LocationHint> hints;
-  if (req->target == nullptr) return hints;
+void MdsNode::fill_hints(const RequestPtr& req, ClientReplyMsg& out) {
+  if (req->target == nullptr) return;
   // Distribution info for the target and its prefix directories (clients
-  // cache these and direct future requests accordingly).
+  // cache these and direct future requests accordingly). Runs once per
+  // reply over the whole ancestry, so authority is resolved root-down
+  // with authority_step() — one delegation-table load per node instead
+  // of a full parent-chain walk per node (O(depth) total, not O(depth²)).
   const bool tc = ctx_.traits.traffic_control &&
                   ctx_.params.traffic_control_enabled;
-  for (FsNode* n : req->target->ancestry()) {
+  static thread_local std::vector<FsNode*> path;
+  path.clear();
+  for (FsNode* n = req->target; n != nullptr; n = n->parent()) {
+    path.push_back(n);
+  }
+  // A fenced node resolves against the map as of its frozen view; rare,
+  // and not expressible incrementally — take the per-node path.
+  const bool lagging =
+      subtree_map_ != nullptr && view_epoch_ != subtree_map_->epoch();
+  MdsId auth = 0;  // matches authority_of()'s undelegated-root default
+  for (auto it = path.rbegin(); it != path.rend(); ++it) {
+    FsNode* n = *it;
+    MdsId a;
+    if (lagging) {
+      a = map_authority(n);
+    } else {
+      auth = ctx_.partition.authority_step(n, auth);
+      a = auth;
+    }
+    if (ctx_.traits.dynamic_dirfrag && n->parent() != nullptr &&
+        ctx_.dirfrag.is_fragmented(n->parent()->ino())) {
+      a = ctx_.dirfrag.dentry_authority(n->parent()->ino(), n->name());
+    }
     LocationHint h;
     h.ino = n->ino();
-    h.authority = authority_for(n);
+    h.authority = a;
     h.replicated_everywhere = tc && is_replicated_everywhere(n->ino());
-    hints.push_back(h);
+    out.hints.push_back(h);
   }
-  return hints;
 }
 
 // --------------------------------------------------------------------------

@@ -69,8 +69,7 @@ void MdsNode::prefetch_children(FsNode* dir) {
   if (!ctx_.traits.whole_directory_io) return;
   if (cache_.peek(dir->ino()) == nullptr) return;  // parent must anchor
   const SimTime now = ctx_.sim.now();
-  for (const auto& [_, child] : dir->children()) {
-    FsNode* c = child.get();
+  for (FsNode* c : dir->children_list()) {
     if (cache_.peek(c->ino()) != nullptr) continue;
     if (authority_for(c) != id_) continue;  // not ours to cache
     cache_.insert(c, InsertKind::kPrefetch, /*authoritative=*/true, now);
@@ -81,7 +80,8 @@ CacheEntry* MdsNode::cache_insert_anchored(FsNode* node, InsertKind kind,
                                            bool authoritative) {
   const SimTime now = ctx_.sim.now();
   if (ctx_.traits.path_traversal && node->parent() != nullptr) {
-    std::vector<FsNode*> chain = node->ancestry();
+    static thread_local std::vector<FsNode*> chain;
+    node->ancestry_into(chain);
     chain.pop_back();
     for (FsNode* a : chain) {
       if (cache_.peek(a->ino()) != nullptr) continue;

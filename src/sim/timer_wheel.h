@@ -92,6 +92,16 @@ class TimerWheel {
     }
   }
 
+  /// Install a hook that runs once at the end of every bucket service
+  /// that fired at least one entry. Owners batching per-entry bookkeeping
+  /// (the cohort's turn counters) flush it here: one stats update per
+  /// bucket instead of one per timer, and — since a bucket drains inside a
+  /// single engine event — no other event can ever observe the unflushed
+  /// intermediate state.
+  void set_bucket_end_hook(InlineFunction<void()> hook) {
+    bucket_end_ = std::move(hook);
+  }
+
   /// Live entries, including stale ones not yet fired.
   std::uint64_t armed() const { return armed_count_; }
   std::uint64_t fired() const { return fired_count_; }
@@ -124,6 +134,7 @@ class TimerWheel {
     scratch_.clear();
     scratch_.swap(bucket);
     words_[b >> 6] &= ~(std::uint64_t{1} << (b & 63));
+    std::uint64_t fired_here = 0;
     for (Entry& e : scratch_) {
       if (e.laps > 0) {
         // Not this revolution: put it back for a later lap.
@@ -132,9 +143,11 @@ class TimerWheel {
         continue;
       }
       --armed_count_;
-      ++fired_count_;
+      ++fired_here;
       on_fire_(e.index, e.stamp);
     }
+    fired_count_ += fired_here;
+    if (fired_here != 0 && bucket_end_) bucket_end_();
     schedule_next_from(tick + 1);
   }
 
@@ -172,6 +185,7 @@ class TimerWheel {
 
   Simulation& sim_;
   FireFn on_fire_;
+  InlineFunction<void()> bucket_end_;
   SimTime granularity_;
   std::uint32_t mask_;
   std::vector<std::vector<Entry>> buckets_;

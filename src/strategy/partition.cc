@@ -62,12 +62,10 @@ SubtreePartition::SubtreePartition(StrategyKind kind, int num_mds)
 
 MdsId SubtreePartition::authority_of(const FsNode* node) const {
   for (const FsNode* n = node; n != nullptr; n = n->parent()) {
-    auto it = delegation_.find(n->ino());
-    if (it != delegation_.end()) {
-      const MdsId holder = it->second.back().mds;
-      if (holder != kInvalidMds) return holder;
-      // Tombstone: folded back into the enclosing delegation; keep walking.
-    }
+    const MdsId holder = current(n->ino());
+    if (holder >= 0) return holder;
+    // kNoRecord or tombstone (folded back into the enclosing
+    // delegation): keep walking.
   }
   return 0;  // root default: MDS 0 owns undelegated territory
 }
@@ -97,6 +95,7 @@ MdsId SubtreePartition::delegate(const FsNode* subtree_root, MdsId to) {
   } else {
     recs.push_back(Record{epoch_, to});
   }
+  set_current(subtree_root->ino(), to);
   nodes_[subtree_root->ino()] = subtree_root;
   return prev;
 }
@@ -110,21 +109,24 @@ void SubtreePartition::undelegate(const FsNode* subtree_root) {
   if (recs.empty()) {
     delegation_.erase(it);
     nodes_.erase(subtree_root->ino());
+    set_current(subtree_root->ino(), kNoRecord);
     return;
   }
   if (recs.back().mds != kInvalidMds) {
     recs.push_back(Record{epoch_, kInvalidMds});
   }
+  set_current(subtree_root->ino(), recs.back().mds);
 }
 
 bool SubtreePartition::is_delegation_point(const FsNode* node) const {
-  auto it = delegation_.find(node->ino());
-  return it != delegation_.end() && it->second.back().mds != kInvalidMds;
+  // current_ mirrors back().mds exactly (kNoRecord when absent), so this
+  // is one load instead of a hash probe.
+  return current(node->ino()) >= 0;
 }
 
 MdsId SubtreePartition::delegation_at(InodeId ino) const {
-  auto it = delegation_.find(ino);
-  return it == delegation_.end() ? kInvalidMds : it->second.back().mds;
+  const MdsId c = current(ino);
+  return c >= 0 ? c : kInvalidMds;
 }
 
 std::vector<const FsNode*> SubtreePartition::delegations_of(MdsId mds) const {
@@ -158,6 +160,7 @@ void SubtreePartition::initialize_by_hashing_top_dirs(const FsTree& tree,
   // wide enough to spread over the cluster.
   delegation_.clear();
   nodes_.clear();
+  current_.clear();
   std::vector<const FsNode*> frontier{tree.root()};
   const std::size_t want =
       std::max<std::size_t>(4, 2 * static_cast<std::size_t>(num_mds_));
@@ -177,6 +180,7 @@ void SubtreePartition::initialize_by_hashing_top_dirs(const FsTree& tree,
         static_cast<MdsId>(n->path_hash() % static_cast<std::uint64_t>(
                                                 num_mds_));
     delegation_[n->ino()] = {Record{epoch_, mds}};
+    set_current(n->ino(), mds);
     nodes_[n->ino()] = n;
   }
 }

@@ -70,6 +70,14 @@ class Partitioner {
   /// Authoritative MDS for this node's metadata (its dentry + embedded
   /// inode at the primary link).
   virtual MdsId authority_of(const FsNode* node) const = 0;
+  /// Incremental form for root-down path walks: authority of `node` given
+  /// its parent's already-computed authority. Strategies whose authority
+  /// derives from the parent chain (subtree partitions) answer with one
+  /// table load instead of re-walking the chain; the default recomputes.
+  virtual MdsId authority_step(const FsNode* node, MdsId parent_auth) const {
+    (void)parent_auth;
+    return authority_of(node);
+  }
   virtual StrategyKind kind() const = 0;
 };
 
@@ -93,6 +101,10 @@ class SubtreePartition final : public Partitioner {
   SubtreePartition(StrategyKind kind, int num_mds);
 
   MdsId authority_of(const FsNode* node) const override;
+  MdsId authority_step(const FsNode* node, MdsId parent_auth) const override {
+    const MdsId holder = current(node->ino());
+    return holder >= 0 ? holder : parent_auth;
+  }
   StrategyKind kind() const override { return kind_; }
 
   /// Authority as seen by a node whose map view is frozen at `epoch`:
@@ -136,12 +148,29 @@ class SubtreePartition final : public Partitioner {
     MdsId mds = kInvalidMds;
   };
 
+  /// Sentinel in `current_` for "no delegation record at all" (distinct
+  /// from kInvalidMds, which is a visible tombstone).
+  static constexpr MdsId kNoRecord = -2;
+
+  MdsId current(InodeId ino) const {
+    return ino < current_.size() ? current_[ino] : kNoRecord;
+  }
+  void set_current(InodeId ino, MdsId mds) {
+    if (ino >= current_.size()) current_.resize(ino + 1, kNoRecord);
+    current_[ino] = mds;
+  }
+
   StrategyKind kind_;
   int num_mds_;
   std::uint64_t epoch_ = 1;
   /// Records per delegation point, epoch-ascending; the back() is current.
   std::unordered_map<InodeId, std::vector<Record>> delegation_;
   std::unordered_map<InodeId, const FsNode*> nodes_;
+  /// Dense mirror of each point's back() record, indexed by ino: the
+  /// authority_of parent-chain walk runs ~1 M times per sharded run and
+  /// must not hash-probe per ancestor. kNoRecord where delegation_ has no
+  /// entry; kInvalidMds mirrors a tombstoned back() record.
+  std::vector<MdsId> current_;
 };
 
 /// Hash partition: authority derived from a path hash. In kDirHash mode a

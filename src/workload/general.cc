@@ -4,6 +4,18 @@
 
 namespace mdsim {
 
+namespace {
+/// Shared scratch for the candidate-collection passes below (drift,
+/// rmdir, rename). These run on every generated op; a per-call vector
+/// would be one heap round-trip each. Thread-local: each shard worker
+/// drives its own workload instance.
+std::vector<FsNode*>& scratch_nodes() {
+  static thread_local std::vector<FsNode*> v;
+  v.clear();
+  return v;
+}
+}  // namespace
+
 GeneralWorkload::GeneralWorkload(FsTree& tree, std::vector<FsNode*> home_roots,
                                  OpMix mix, GeneralWorkloadParams params)
     : tree_(tree),
@@ -50,10 +62,10 @@ FsNode* GeneralWorkload::random_file_in(FsNode* dir, Rng& rng) {
   // Reservoir-pick a file child; directories are skipped.
   FsNode* pick = nullptr;
   std::uint64_t seen = 0;
-  for (const auto& [_, c] : dir->children()) {
+  for (FsNode* c : dir->children_list()) {
     if (c->is_dir()) continue;
     ++seen;
-    if (rng.uniform(seen) == 0) pick = c.get();
+    if (rng.uniform(seen) == 0) pick = c;
   }
   return pick;
 }
@@ -64,9 +76,9 @@ void GeneralWorkload::maybe_drift(ClientId c, ClientState& s, Rng& rng) {
   if (r < P.p_stay) return;
   if (r < P.p_stay + P.p_move_child) {
     // Descend into a random subdirectory.
-    std::vector<FsNode*> dirs;
-    for (const auto& [_, c] : s.region->children()) {
-      if (c->is_dir()) dirs.push_back(c.get());
+    std::vector<FsNode*>& dirs = scratch_nodes();
+    for (FsNode* c : s.region->children_list()) {
+      if (c->is_dir()) dirs.push_back(c);
     }
     if (!dirs.empty()) s.region = dirs[rng.uniform(dirs.size())];
     return;
@@ -80,9 +92,9 @@ void GeneralWorkload::maybe_drift(ClientId c, ClientState& s, Rng& rng) {
   if (r < P.p_stay + P.p_move_child + P.p_move_parent + P.p_move_sibling) {
     FsNode* parent = s.region->parent();
     if (parent != nullptr) {
-      std::vector<FsNode*> sibs;
-      for (const auto& [_, c] : parent->children()) {
-        if (c->is_dir() && c.get() != s.region) sibs.push_back(c.get());
+      std::vector<FsNode*>& sibs = scratch_nodes();
+      for (FsNode* c : parent->children_list()) {
+        if (c->is_dir() && c != s.region) sibs.push_back(c);
       }
       if (!sibs.empty()) s.region = sibs[rng.uniform(sibs.size())];
     }
@@ -104,9 +116,9 @@ void GeneralWorkload::clamp_to_override(ClientState& s, Rng& rng) {
   }
   if (!FsTree::is_ancestor_of(s.home_override, s.region)) {
     FsNode* dest = s.home_override;
-    std::vector<FsNode*> subdirs;
-    for (const auto& [_, c] : dest->children()) {
-      if (c->is_dir()) subdirs.push_back(c.get());
+    std::vector<FsNode*>& subdirs = scratch_nodes();
+    for (FsNode* c : dest->children_list()) {
+      if (c->is_dir()) subdirs.push_back(c);
     }
     s.region = subdirs.empty() ? dest : subdirs[rng.uniform(subdirs.size())];
   }
@@ -157,9 +169,12 @@ SimTime GeneralWorkload::next(ClientId c, SimTime now, Rng& rng,
           rng.exponential(static_cast<double>(params_.mean_seq_think)));
     }
   }
-  while (!s.stat_queue.empty()) {
-    FsNode* f = s.stat_queue.front();
-    s.stat_queue.pop_front();
+  while (s.stat_head < s.stat_queue.size()) {
+    FsNode* f = s.stat_queue[s.stat_head++];
+    if (s.stat_head >= s.stat_queue.size()) {
+      s.stat_queue.clear();
+      s.stat_head = 0;
+    }
     if (!tree_.alive(f)) continue;
     out->op = OpType::kStat;
     out->target = f;
@@ -238,9 +253,9 @@ bool GeneralWorkload::generate(ClientId c, ClientState& s, Rng& rng,
       out->target = region;
       // Queue the characteristic stat burst over directory entries.
       int quota = params_.readdir_stat_burst;
-      for (const auto& [_, child] : region->children()) {
+      for (FsNode* child : region->children_list()) {
         if (quota-- <= 0) break;
-        s.stat_queue.push_back(child.get());
+        s.stat_queue.push_back(child);
       }
       return true;
     }
@@ -258,10 +273,10 @@ bool GeneralWorkload::generate(ClientId c, ClientState& s, Rng& rng,
       return true;
     }
     case OpType::kRmdir: {
-      std::vector<FsNode*> empties;
-      for (const auto& [_, child] : region->children()) {
-        if (child->is_dir() && child->children().empty()) {
-          empties.push_back(child.get());
+      std::vector<FsNode*>& empties = scratch_nodes();
+      for (FsNode* child : region->children_list()) {
+        if (child->is_dir() && child->child_count() == 0) {
+          empties.push_back(child);
         }
       }
       if (empties.empty()) return false;
@@ -274,9 +289,9 @@ bool GeneralWorkload::generate(ClientId c, ClientState& s, Rng& rng,
       // Mostly rename within the directory; occasionally move a whole
       // subdirectory (the expensive case for hashed strategies).
       if (rng.bernoulli(0.15)) {
-        std::vector<FsNode*> dirs;
-        for (const auto& [_, child] : region->children()) {
-          if (child->is_dir()) dirs.push_back(child.get());
+        std::vector<FsNode*>& dirs = scratch_nodes();
+        for (FsNode* child : region->children_list()) {
+          if (child->is_dir()) dirs.push_back(child);
         }
         if (dirs.size() >= 2) {
           out->target = dirs[0];

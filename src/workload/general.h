@@ -14,7 +14,6 @@
 // create-heavy) second mix.
 #pragma once
 
-#include <deque>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -79,8 +78,13 @@ class GeneralWorkload final : public Workload {
     /// After a workload shift, jumps return here instead of the client's
     /// original home (shifted clients *stay* in the new region, fig 5).
     FsNode* home_override = nullptr;
-    FsNode* opened = nullptr;         // pending close target
-    std::deque<FsNode*> stat_queue;   // pending readdir->stat burst
+    FsNode* opened = nullptr;  // pending close target
+    /// Pending readdir->stat burst: FIFO as (vector, head index) so a
+    /// default-constructed state allocates nothing (a deque allocates its
+    /// map eagerly — at 10⁶ clients that is 10⁶ startup allocations) and
+    /// the buffer's capacity is reused across bursts.
+    std::vector<FsNode*> stat_queue;
+    std::size_t stat_head = 0;
     bool started = false;
     bool shifted = false;
     std::uint64_t name_counter = 0;

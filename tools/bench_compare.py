@@ -48,8 +48,21 @@ def fmt_time(b):
 
 
 def fmt_rate(b):
+    # The sim_scale ladder emits simulated-ops-per-wall-second alongside
+    # the google-benchmark items_per_second (which counts engine events);
+    # ops/s is the ladder's figure of merit, so prefer it when present.
+    ops = b.get("ops_per_wall_sec")
+    if ops:
+        return f"{ops / 1e3:.0f}k ops/s"
     ips = b.get("items_per_second")
     return f"{ips / 1e6:.2f}M/s" if ips else "-"
+
+
+def fmt_scale(b):
+    """Rung shape for ladder rows: clients/threads, blank otherwise."""
+    if "clients" not in b:
+        return ""
+    return f"  [{b['clients']} clients, t{b.get('threads', 1)}]"
 
 
 def main():
@@ -89,7 +102,8 @@ def main():
         ratio = ob["real_time"] / nb["real_time"] if nb["real_time"] else 0.0
         worst = ratio if worst is None else min(worst, ratio)
         print(f"{name:<{name_w}}  {fmt_time(ob):>12}  {fmt_time(nb):>12}  "
-              f"{ratio:>7.2f}x  {fmt_rate(ob):>10}  {fmt_rate(nb):>10}")
+              f"{ratio:>7.2f}x  {fmt_rate(ob):>10}  {fmt_rate(nb):>10}"
+              f"{fmt_scale(nb)}")
 
     for name in sorted(set(old) - set(new)):
         print(f"{name:<{name_w}}  only in {args.old}")
