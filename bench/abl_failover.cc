@@ -34,7 +34,7 @@ Outcome run_mode(bool warm, CsvWriter& csv, bool quick) {
   cfg.mds.cache_capacity = 3000;
   cfg.duration = 40 * kSecond;
   cfg.warmup = 3 * kSecond;
-  cfg.client_request_timeout = kSecond;
+  cfg.client_retry.request_timeout = kSecond;
 
   const SimTime kill_at = 12 * kSecond;
   ClusterSim cluster(cfg);

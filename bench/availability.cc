@@ -50,7 +50,7 @@ SimConfig base_config(bool quick) {
   cfg.mds.cache_capacity = 3000;
   cfg.duration = 40 * kSecond;
   cfg.warmup = 3 * kSecond;
-  cfg.client_request_timeout = kSecond;
+  cfg.client_retry.request_timeout = kSecond;
   return cfg;
 }
 

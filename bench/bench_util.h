@@ -4,6 +4,7 @@
 
 #include <filesystem>
 #include <iostream>
+#include <limits>
 #include <string>
 
 #include "common/csv.h"
@@ -29,6 +30,21 @@ inline void banner(const std::string& title, const std::string& paper_ref) {
             << title << "\n"
             << paper_ref << "\n"
             << "=====================================================\n";
+}
+
+/// --overload-noop: enable the overload gate with limits no request can
+/// reach (depth bounds at SIZE_MAX, no backlog bound, no bucket, no
+/// deadline drops). The run must be byte-identical to one with the gate
+/// disabled — CI diffs the CSVs to prove the protection layer is
+/// zero-cost when it never fires.
+inline void apply_overload_noop(SimConfig* cfg) {
+  OverloadParams& ov = cfg->mds.overload;
+  ov.enabled = true;
+  ov.max_cpu_queue_depth = std::numeric_limits<std::size_t>::max();
+  ov.max_cpu_queue_delay = 0;
+  ov.max_disk_queue_depth = std::numeric_limits<std::size_t>::max();
+  ov.admit_rate = 0.0;
+  ov.deadline_drop = false;
 }
 
 /// All five strategies in the paper's legend order.

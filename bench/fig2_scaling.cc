@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   std::vector<int> sizes{2, 4, 8, 16, 32, 50};
   int shards = 1;
   int threads = 1;
+  bool overload_noop = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
@@ -28,6 +29,8 @@ int main(int argc, char** argv) {
       shards = std::atoi(arg.c_str() + 9);
     } else if (arg.rfind("--threads=", 0) == 0) {
       threads = std::atoi(arg.c_str() + 10);
+    } else if (arg == "--overload-noop") {
+      overload_noop = true;  // gate enabled, limits unreachable: must match
     }
   }
   // --shards=1 (the default) is the classic single-engine path and
@@ -47,6 +50,7 @@ int main(int argc, char** argv) {
       SimConfig config = scaled_system_config(k, n);
       config.shards = shards;
       config.threads = threads;
+      if (overload_noop) apply_overload_noop(&config);
       const RunResult r = run_one(config);
       csv.field(strategy_name(k))
           .field(std::int64_t{n})

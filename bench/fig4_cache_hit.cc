@@ -15,8 +15,14 @@ int main(int argc, char** argv) {
          "paper: fig 4, section 5.3.1 (Prefix Caching)");
 
   std::vector<double> fractions{0.05, 0.10, 0.20, 0.35, 0.60};
-  if (argc > 1 && std::string(argv[1]) == "--quick") {
-    fractions = {0.05, 0.20, 0.60};
+  bool overload_noop = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      fractions = {0.05, 0.20, 0.60};
+    } else if (arg == "--overload-noop") {
+      overload_noop = true;  // gate enabled, limits unreachable: must match
+    }
   }
 
   CsvWriter csv(csv_path("fig4_cache_hit"));
@@ -28,7 +34,9 @@ int main(int argc, char** argv) {
   for (double frac : fractions) {
     std::vector<std::string> row{fmt_double(frac, 2)};
     for (StrategyKind k : all_strategies()) {
-      const RunResult r = run_one(cache_sweep_config(k, frac));
+      SimConfig config = cache_sweep_config(k, frac);
+      if (overload_noop) apply_overload_noop(&config);
+      const RunResult r = run_one(config);
       csv.field(strategy_name(k))
           .field(frac)
           .field(r.hit_rate)

@@ -9,7 +9,8 @@ using namespace mdsim::bench;
 
 namespace {
 
-void run_strategy(StrategyKind k, CsvWriter& csv, bool quick) {
+void run_strategy(StrategyKind k, CsvWriter& csv, bool quick,
+                  bool overload_noop) {
   SimConfig cfg = shift_config(k);
   if (quick) {
     cfg.num_mds = 6;
@@ -18,6 +19,7 @@ void run_strategy(StrategyKind k, CsvWriter& csv, bool quick) {
     cfg.duration = 40 * kSecond;
     cfg.shifting.shift_at = 12 * kSecond;
   }
+  if (overload_noop) apply_overload_noop(&cfg);
   ClusterSim cluster(cfg);
   cluster.run();
 
@@ -46,12 +48,18 @@ void run_strategy(StrategyKind k, CsvWriter& csv, bool quick) {
 int main(int argc, char** argv) {
   banner("Figure 6 — forwarded-request fraction under a workload shift",
          "paper: fig 6, section 5.3.3 (Client Ignorance)");
-  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  bool quick = false;
+  bool overload_noop = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") quick = true;
+    if (arg == "--overload-noop") overload_noop = true;
+  }
 
   CsvWriter csv(csv_path("fig6_forwarding"));
   csv.header({"strategy", "time_s", "forward_fraction"});
-  run_strategy(StrategyKind::kDynamicSubtree, csv, quick);
-  run_strategy(StrategyKind::kStaticSubtree, csv, quick);
+  run_strategy(StrategyKind::kDynamicSubtree, csv, quick, overload_noop);
+  run_strategy(StrategyKind::kStaticSubtree, csv, quick, overload_noop);
   std::cout << "\nExpected shape: both spike when clients move into "
                "unexplored territory; the static fraction decays back to "
                "its discovery baseline, while the dynamic one stays higher "

@@ -78,6 +78,11 @@ void Client::issue(const Operation& op) {
   msg->secondary = op.secondary != nullptr ? op.secondary->ino()
                                            : kInvalidInode;
   msg->name = op.name;
+  // Overload-admission context: retry number and the client-side
+  // deadline. Stamped unconditionally (pure field writes); servers only
+  // read them when overload protection is on.
+  msg->attempt = attempts_ < 255 ? static_cast<std::uint8_t>(attempts_) : 255;
+  msg->deadline = sim_.now() + retry_.request_timeout;
 
   if (tracer_ != nullptr) {
     if (attempts_ == 0) {
@@ -108,7 +113,7 @@ void Client::issue(const Operation& op) {
   net_.send(addr_, mds, std::move(msg));
 
   timeout_.cancel();
-  timeout_ = sim_.schedule(request_timeout_, [this]() {
+  timeout_ = sim_.schedule(retry_.request_timeout, [this]() {
     if (inflight_req_ == 0) return;  // raced with the reply
     ++stats_.retries;
     ++attempts_;
@@ -120,18 +125,24 @@ void Client::issue(const Operation& op) {
       schedule_next();
       return;
     }
+    // Retry budget: retries are throttled to a fraction of successes.
+    // A dry budget means the cluster is rejecting/timing out far faster
+    // than it serves — fail fast instead of feeding the storm.
+    if (!budget_.try_spend(retry_.budget)) {
+      ++stats_.retries_suppressed;
+      inflight_req_ = 0;
+      attempts_ = 0;
+      ++stats_.ops_failed;
+      schedule_next();
+      return;
+    }
     // Exponential backoff with jitter: the whole herd stranded by a dead
     // node times out together; spreading the re-issues over [d/2, d)
     // keeps the survivors (and the node when it returns) from absorbing
     // one synchronized stampede per timeout period.
-    const int shift = attempts_ - 1 < 6 ? attempts_ - 1 : 6;
-    SimTime d = retry_backoff_base_ << shift;
-    if (d > retry_backoff_cap_) d = retry_backoff_cap_;
-    const SimTime delay =
-        d / 2 + static_cast<SimTime>(rng_.uniform_double() *
-                                     static_cast<double>(d / 2));
-    retry_.cancel();
-    retry_ = sim_.schedule(delay, [this]() {
+    const SimTime delay = retry_backoff_delay(retry_, attempts_, rng_);
+    retry_timer_.cancel();
+    retry_timer_ = sim_.schedule(delay, [this]() {
       if (inflight_req_ == 0) return;
       if (!tree_.alive(inflight_op_.target)) {
         inflight_req_ = 0;
@@ -155,13 +166,57 @@ void Client::on_message(NetAddr from, MessagePtr msg) {
     ++stats_.stale_replies;
     return;
   }
+  if (reply.rejected) {
+    // Overload rejection: the request never entered a queue. Honor the
+    // server's retry_after (plus jitter) if the budget allows a retry;
+    // otherwise fail fast. Mirrors the timeout path's bookkeeping but
+    // comes back much sooner than a full request timeout.
+    ++stats_.rejected_replies;
+    ++attempts_;
+    timeout_.cancel();
+    if (!tree_.alive(inflight_op_.target)) {
+      inflight_req_ = 0;
+      attempts_ = 0;
+      ++stats_.ops_failed;
+      schedule_next();
+      return;
+    }
+    if (!budget_.try_spend(retry_.budget)) {
+      ++stats_.retries_suppressed;
+      inflight_req_ = 0;
+      attempts_ = 0;
+      ++stats_.ops_failed;
+      schedule_next();
+      return;
+    }
+    const SimTime delay = rejected_retry_delay(reply.retry_after, rng_);
+    // Mark idle: a duplicate of this rejection (or a late reply to the
+    // shed request) must land in the stale branch, not re-arm a retry.
+    inflight_req_ = 0;
+    retry_timer_.cancel();
+    retry_timer_ = sim_.schedule(delay, [this]() {
+      if (!tree_.alive(inflight_op_.target)) {
+        attempts_ = 0;
+        ++stats_.ops_failed;
+        schedule_next();
+        return;
+      }
+      issue(inflight_op_);
+    });
+    return;
+  }
   inflight_req_ = 0;
   attempts_ = 0;
   timeout_.cancel();
-  retry_.cancel();
+  retry_timer_.cancel();
 
   ++stats_.ops_completed;
-  if (!reply.success) ++stats_.ops_failed;
+  if (reply.success) {
+    ++stats_.ops_ok;
+    budget_.earn(retry_.budget);
+  } else {
+    ++stats_.ops_failed;
+  }
   if (reply.hops > 0) ++stats_.forwarded_replies;
   stats_.latency_seconds.add(to_seconds(sim_.now() - issued_at_));
   if (tracer_ != nullptr) {

@@ -13,6 +13,7 @@
 #include <memory>
 
 #include "client/location_cache.h"
+#include "client/retry_policy.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/trace.h"
@@ -28,10 +29,13 @@ namespace mdsim {
 struct ClientStats {
   std::uint64_t ops_issued = 0;
   std::uint64_t ops_completed = 0;
+  std::uint64_t ops_ok = 0;       // completed with success (goodput)
   std::uint64_t ops_failed = 0;
   std::uint64_t forwarded_replies = 0;  // replies that took >0 MDS hops
   std::uint64_t retries = 0;            // timeouts (e.g. a failed MDS)
   std::uint64_t stale_replies = 0;      // late/duplicate replies ignored
+  std::uint64_t rejected_replies = 0;   // overload Rejected{retry_after}
+  std::uint64_t retries_suppressed = 0; // retry budget dry: failed fast
   Summary latency_seconds;
 };
 
@@ -54,19 +58,18 @@ class Client final : public NetEndpoint {
   std::uint32_t uid() const { return uid_; }
   void set_uid(std::uint32_t uid) { uid_ = uid; }
 
-  /// Unanswered requests are re-issued after this long (to a random node,
-  /// bypassing possibly-stale location knowledge). Failure tolerance; in
-  /// healthy clusters latencies sit far below it.
-  void set_request_timeout(SimTime t) { request_timeout_ = t; }
-
-  /// Retries back off exponentially (base << attempt, capped) with
-  /// deterministic jitter in [d/2, d), so a crowd of clients stranded by
-  /// a dead node doesn't re-stampede it in lockstep on recovery. The rng
-  /// is only consulted on retries: healthy runs draw nothing.
-  void set_retry_backoff(SimTime base, SimTime cap) {
-    retry_backoff_base_ = base;
-    retry_backoff_cap_ = cap;
+  /// Retry policy: request timeout, exponential-backoff knobs, retry
+  /// budget. Unanswered requests are re-issued after the timeout (to a
+  /// random node, bypassing possibly-stale location knowledge) with
+  /// exponential backoff (base << attempt, capped) and deterministic
+  /// jitter in [d/2, d), so a crowd of clients stranded by a dead node
+  /// doesn't re-stampede it in lockstep on recovery. The rng is only
+  /// consulted on retries: healthy runs draw nothing.
+  void set_retry_policy(const ClientRetryParams& p) {
+    retry_ = p;
+    budget_.init(p.budget);
   }
+  const ClientRetryParams& retry_policy() const { return retry_; }
 
   /// Enable per-request tracing: each issued op carries a pointer to this
   /// client's TraceRecord (closed-loop clients have exactly one op in
@@ -103,13 +106,12 @@ class Client final : public NetEndpoint {
   std::uint64_t next_req_id_ = 1;
   std::uint64_t inflight_req_ = 0;  // 0 = idle
   SimTime issued_at_ = 0;
-  SimTime request_timeout_ = 5 * kSecond;
+  ClientRetryParams retry_;
+  RetryBudget budget_;
   Operation inflight_op_;  // kept for timeout retries
   int attempts_ = 0;
-  SimTime retry_backoff_base_ = 250 * kMillisecond;
-  SimTime retry_backoff_cap_ = 2 * kSecond;
   EventHandle timeout_;
-  EventHandle retry_;
+  EventHandle retry_timer_;
 };
 
 }  // namespace mdsim

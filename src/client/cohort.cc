@@ -42,6 +42,7 @@ ClientCohort::ClientCohort(Simulation& sim, Network& net, FsTree& tree,
   pending_.resize(n);
   remote_.assign(n, 0);
   remote_idx_.assign(n, 0);
+  budgets_.resize(n);
   locs_.resize(n);
   // Same stream family as the standalone Client so cohort clients are
   // statistically comparable, derived per client via substream() so the
@@ -166,6 +167,12 @@ void ClientCohort::issue(std::uint32_t idx) {
   auto msg = std::make_unique<ClientRequestMsg>();
   msg->req_id = next_req_[idx]++;
   msg->client = client_id(static_cast<int>(idx));
+  // Overload-admission context, as in Client::issue: stamped always,
+  // read by servers only when protection is on.
+  msg->attempt = attempts_[idx] < 255
+                     ? static_cast<std::uint8_t>(attempts_[idx])
+                     : 255;
+  msg->deadline = sim_.now() + retry_.request_timeout;
   inflight_[idx] = msg->req_id;
   issued_at_[idx] = sim_.now();
   // Wheel-scope counter: every issue happens inside a bucket service
@@ -213,7 +220,7 @@ void ClientCohort::issue(std::uint32_t idx) {
     assert(mds >= 0 && mds < num_mds_);
     net_.send(addr(static_cast<int>(idx)), mds, std::move(msg));
   }
-  arm(idx, kTimeout, sim_.now() + request_timeout_);
+  arm(idx, kTimeout, sim_.now() + retry_.request_timeout);
 }
 
 void ClientCohort::give_up(std::uint32_t idx) {
@@ -230,13 +237,14 @@ void ClientCohort::on_timeout(std::uint32_t idx) {
     give_up(idx);
     return;
   }
+  // Retry budget, as in Client: dry budget fails the op fast.
+  if (!budgets_[idx].try_spend(retry_.budget)) {
+    ++pending_stats_.suppressed;
+    give_up(idx);
+    return;
+  }
   // Exponential backoff with jitter in [d/2, d), as in Client.
-  const int shift = attempts_[idx] - 1 < 6 ? attempts_[idx] - 1 : 6;
-  SimTime d = retry_backoff_base_ << shift;
-  if (d > retry_backoff_cap_) d = retry_backoff_cap_;
-  const SimTime delay =
-      d / 2 + static_cast<SimTime>(rngs_[idx].uniform_double() *
-                                   static_cast<double>(d / 2));
+  const SimTime delay = retry_backoff_delay(retry_, attempts_[idx], rngs_[idx]);
   arm(idx, kRetry, sim_.now() + delay);
 }
 
@@ -256,13 +264,47 @@ void ClientCohort::on_reply(std::uint32_t idx, NetAddr from, MessagePtr msg) {
     ++stats_.stale_replies;
     return;
   }
+  if (reply.rejected) {
+    // Overload rejection — mirror Client::on_message exactly (same
+    // counter order, same single RNG draw) so the two implementations
+    // stay in retry lockstep. Reply-path context: stats_ is updated
+    // directly, never through the wheel-scope pending counters.
+    ++stats_.rejected_replies;
+    ++attempts_[idx];
+    if (remote_[idx] == 0 && !tree_.alive(pending_[idx].target)) {
+      inflight_[idx] = 0;
+      attempts_[idx] = 0;
+      ++stats_.ops_failed;
+      schedule_next(idx);
+      return;
+    }
+    if (!budgets_[idx].try_spend(retry_.budget)) {
+      ++stats_.retries_suppressed;
+      inflight_[idx] = 0;
+      attempts_[idx] = 0;
+      ++stats_.ops_failed;
+      schedule_next(idx);
+      return;
+    }
+    const SimTime delay = rejected_retry_delay(reply.retry_after, rngs_[idx]);
+    // Mark idle so a duplicate of this rejection lands in the stale
+    // branch; the kRetry arm supersedes the pending timeout's stamp.
+    inflight_[idx] = 0;
+    arm(idx, kRetry, sim_.now() + delay);
+    return;
+  }
   inflight_[idx] = 0;
   attempts_[idx] = 0;
   // No timer cancellation needed: schedule_next below supersedes the
   // pending timeout's stamp (via arm or disarm).
 
   ++stats_.ops_completed;
-  if (!reply.success) ++stats_.ops_failed;
+  if (reply.success) {
+    ++stats_.ops_ok;
+    budgets_[idx].earn(retry_.budget);
+  } else {
+    ++stats_.ops_failed;
+  }
   if (reply.hops > 0) ++stats_.forwarded_replies;
   stats_.latency_seconds.add(to_seconds(sim_.now() - issued_at_[idx]));
   if (remote_[idx] == 0) {

@@ -66,11 +66,13 @@ class ClientCohort {
   void set_uid(int idx, std::uint32_t uid) {
     uids_[static_cast<std::size_t>(idx)] = uid;
   }
-  void set_request_timeout(SimTime t) { request_timeout_ = t; }
-  void set_retry_backoff(SimTime base, SimTime cap) {
-    retry_backoff_base_ = base;
-    retry_backoff_cap_ = cap;
+  /// Retry policy (timeout, backoff, budget) for every client in the
+  /// cohort; mirrors Client::set_retry_policy.
+  void set_retry_policy(const ClientRetryParams& p) {
+    retry_ = p;
+    for (RetryBudget& b : budgets_) b.init(p.budget);
   }
+  const ClientRetryParams& retry_policy() const { return retry_; }
   void set_tracer(TraceCollector* tracer);
 
   /// Install cross-shard targets; each think-turn goes remote with
@@ -118,9 +120,7 @@ class ClientCohort {
   const DirFragRegistry& dirfrag_;
   ClientId first_id_;
   int num_mds_;
-  SimTime request_timeout_ = 5 * kSecond;
-  SimTime retry_backoff_base_ = 250 * kMillisecond;
-  SimTime retry_backoff_cap_ = 2 * kSecond;
+  ClientRetryParams retry_;
   TraceCollector* tracer_ = nullptr;
 
   TimerWheel wheel_;
@@ -138,6 +138,7 @@ class ClientCohort {
   std::vector<Operation> pending_;
   std::vector<std::uint8_t> remote_;     // this turn targets another shard
   std::vector<std::uint32_t> remote_idx_;  // catalog index when remote
+  std::vector<RetryBudget> budgets_;     // per-client retry budgets
   std::vector<LocationCache> locs_;
   std::vector<TraceRecord> trace_recs_;  // sized when a tracer is set
 
@@ -154,12 +155,14 @@ class ClientCohort {
     std::uint32_t issued = 0;
     std::uint32_t retries = 0;
     std::uint32_t failed = 0;
+    std::uint32_t suppressed = 0;  // budget-denied timeout retries
   };
   PendingTurnStats pending_stats_;
   void flush_turn_stats() {
     stats_.ops_issued += pending_stats_.issued;
     stats_.retries += pending_stats_.retries;
     stats_.ops_failed += pending_stats_.failed;
+    stats_.retries_suppressed += pending_stats_.suppressed;
     pending_stats_ = PendingTurnStats{};
   }
 };

@@ -46,6 +46,21 @@ struct FenceIncident {
   bool open = true;
 };
 
+/// An MDS shedding load at admission. Consecutive sheds on one node are
+/// coalesced into an episode: the episode stays open while sheds keep
+/// arriving and closes after a quiet gap (no shed for kQuietGap). The
+/// episode span approximates "time spent in overload" the way fence
+/// incidents approximate time spent partitioned.
+struct OverloadIncident {
+  static constexpr SimTime kUnset = FaultIncident::kUnset;
+
+  MdsId node = kInvalidMds;
+  SimTime began_at = kUnset;
+  SimTime last_shed_at = kUnset;
+  std::uint64_t sheds = 0;
+  bool open = true;
+};
+
 class FaultLog {
  public:
   void note_crash(MdsId node, SimTime now) {
@@ -105,8 +120,30 @@ class FaultLog {
     f->open = false;
   }
 
+  /// One admission-gate shed on `node`. Extends the node's open overload
+  /// episode, or opens a new one after a quiet gap.
+  void note_shed(MdsId node, SimTime now) {
+    OverloadIncident* inc = open_overload(node);
+    if (inc != nullptr && now - inc->last_shed_at > kQuietGap) {
+      inc->open = false;
+      inc = nullptr;
+    }
+    if (inc == nullptr) {
+      OverloadIncident fresh;
+      fresh.node = node;
+      fresh.began_at = now;
+      overloads_.push_back(fresh);
+      inc = &overloads_.back();
+    }
+    inc->last_shed_at = now;
+    ++inc->sheds;
+  }
+
   const std::vector<FaultIncident>& incidents() const { return incidents_; }
   const std::vector<FenceIncident>& fence_incidents() const { return fences_; }
+  const std::vector<OverloadIncident>& overload_incidents() const {
+    return overloads_;
+  }
 
   /// Crash -> first survivor detection. `asof` (usually the run end)
   /// right-censors incidents whose end milestone never happened: a crash
@@ -126,6 +163,25 @@ class FaultLog {
   Summary recovery_time_seconds(SimTime asof) const {
     return span([](const FaultIncident& i) { return i.rejoined_at; },
                 [](const FaultIncident& i) { return i.restarted_at; }, asof);
+  }
+
+  /// Per-episode overload durations (first shed -> last shed of the
+  /// episode). An episode with one shed contributes 0; a sustained storm
+  /// contributes its whole span.
+  Summary overload_episode_seconds(SimTime /*asof*/) const {
+    Summary s;
+    for (const OverloadIncident& o : overloads_) {
+      if (o.began_at == OverloadIncident::kUnset) continue;
+      s.add(to_seconds(o.last_shed_at - o.began_at));
+    }
+    return s;
+  }
+
+  /// Total requests shed at admission, across all nodes and episodes.
+  std::uint64_t total_sheds() const {
+    std::uint64_t n = 0;
+    for (const OverloadIncident& o : overloads_) n += o.sheds;
+    return n;
   }
 
   /// Total seconds nodes spent self-fenced (minority-side write stall).
@@ -163,6 +219,13 @@ class FaultLog {
     return nullptr;
   }
 
+  OverloadIncident* open_overload(MdsId node) {
+    for (auto it = overloads_.rbegin(); it != overloads_.rend(); ++it) {
+      if (it->node == node && it->open) return &*it;
+    }
+    return nullptr;
+  }
+
   template <typename End, typename Begin>
   Summary span(End end, Begin begin, SimTime asof) const {
     Summary s;
@@ -180,8 +243,12 @@ class FaultLog {
     return s;
   }
 
+  /// Sheds further apart than this belong to separate overload episodes.
+  static constexpr SimTime kQuietGap = kSecond;
+
   std::vector<FaultIncident> incidents_;
   std::vector<FenceIncident> fences_;
+  std::vector<OverloadIncident> overloads_;
 };
 
 }  // namespace mdsim

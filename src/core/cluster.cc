@@ -83,8 +83,14 @@ void ClusterSim::build() {
       assert(!tree_.files().empty());
       FsNode* target =
           tree_.files()[config_.seed % tree_.files().size()];
-      workload_ = std::make_unique<FlashCrowdWorkload>(tree_, target,
-                                                       config_.flash);
+      auto fc = std::make_unique<FlashCrowdWorkload>(tree_, target,
+                                                     config_.flash);
+      if (config_.flash.base_think > 0) {
+        // Background pool for the spike-on-baseline shape: every file in
+        // the namespace (ownership stays with the tree).
+        fc->set_background(tree_.files());
+      }
+      workload_ = std::move(fc);
       break;
     }
     case WorkloadKind::kShifting: {
@@ -114,9 +120,7 @@ void ClusterSim::build() {
       clients_.back()->set_uid(
           100 + static_cast<std::uint32_t>(c % config_.fs.num_users));
     }
-    clients_.back()->set_request_timeout(config_.client_request_timeout);
-    clients_.back()->set_retry_backoff(config_.client_backoff_base,
-                                       config_.client_backoff_cap);
+    clients_.back()->set_retry_policy(config_.client_retry);
     clients_.back()->set_tracer(tracer_.get());
   }
 

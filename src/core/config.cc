@@ -61,7 +61,7 @@ SimConfig shift_config(StrategyKind strategy, std::uint64_t seed) {
   cfg.workload = WorkloadKind::kShifting;
   // No retry spray in this experiment: the paper's clients simply wait,
   // so a saturated static node shows up as queueing, not as forwarding.
-  cfg.client_request_timeout = 60 * kSecond;
+  cfg.client_retry.request_timeout = 60 * kSecond;
   cfg.shifting.shift_at = 25 * kSecond;
   cfg.shifting.fraction = 0.5;
   cfg.duration = 80 * kSecond;
@@ -91,7 +91,7 @@ SimConfig flash_crowd_config(bool traffic_control, std::uint64_t seed) {
   // stampeding the same file); the retry spray is what lets reply-side
   // replication absorb the crowd — and what buries the authority when
   // traffic control is off (the paper's ~250k req/s forward rates).
-  cfg.client_request_timeout = 50 * kMillisecond;
+  cfg.client_retry.request_timeout = 50 * kMillisecond;
   cfg.duration = from_seconds(8.4);
   cfg.warmup = from_seconds(7.5);
   cfg.sample_period = from_millis(10);

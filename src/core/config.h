@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <string>
 
+#include "client/retry_policy.h"
 #include "fstree/generator.h"
 #include "mds/params.h"
 #include "net/network.h"
@@ -59,14 +60,12 @@ struct SimConfig {
   /// native behaviour.
   int force_whole_dir_io = -1;
 
-  /// Client request timeout (retry to a random node on silence; only
-  /// reached when a server has failed).
-  SimTime client_request_timeout = 5 * kSecond;
-  /// Retry backoff: delay before the k-th re-issue is jittered within
-  /// [d/2, d) where d = base << (k-1), capped. Spreads the retry herd a
-  /// dead node strands so recovery isn't met with a stampede.
-  SimTime client_backoff_base = 250 * kMillisecond;
-  SimTime client_backoff_cap = 2 * kSecond;
+  /// Client retry policy (src/client/retry_policy.h): request timeout
+  /// (retry to a random node on silence), exponential-backoff base/cap
+  /// (the k-th re-issue is jittered within [d/2, d), d = base << (k-1),
+  /// capped — spreads the retry herd a dead node strands so recovery
+  /// isn't met with a stampede), and the retry budget (off by default).
+  ClientRetryParams client_retry;
 
   /// Parallel simulation (core/sharded_cluster.h). shards == 1 is the
   /// classic single-engine ClusterSim path, bit-for-bit unchanged; with

@@ -18,7 +18,16 @@ Metrics::Metrics(std::vector<MdsNode*> nodes, std::vector<Client*> clients,
   base_failures_.assign(nodes_.size(), 0);
   base_hits_.assign(nodes_.size(), 0);
   base_misses_.assign(nodes_.size(), 0);
+  base_sheds_.assign(nodes_.size(), 0);
+  base_rejects_.assign(nodes_.size(), 0);
 }
+
+namespace {
+std::uint64_t sheds_of(const MdsStats& s) {
+  return s.requests_shed_queue + s.requests_shed_admission +
+         s.requests_shed_deadline;
+}
+}  // namespace
 
 void Metrics::sample(SimTime now) {
   double sum = 0.0;
@@ -26,11 +35,13 @@ void Metrics::sample(SimTime now) {
   double mx = 0.0;
   double fwd_sum = 0.0;
   double req_sum = 0.0;
+  double shed_sum = 0.0;
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     MdsStats& s = nodes_[i]->stats();
     const double tput = s.reply_rate.sample(now);
     const double fwd = s.forward_rate.sample(now);
     const double req = s.request_rate.sample(now);
+    shed_sum += s.shed_rate.sample(now);
     s.miss_rate.sample(now);  // keep the window aligned
     mds_tput_[i].record(now, tput);
     sum += tput;
@@ -46,6 +57,7 @@ void Metrics::sample(SimTime now) {
   reply_rate_.record(now, sum);
   forward_rate_.record(now, fwd_sum);
   fwd_fraction_.record(now, req_sum > 0 ? fwd_sum / req_sum : 0.0);
+  shed_rate_.record(now, shed_sum);
 }
 
 void Metrics::reset(SimTime now) {
@@ -58,10 +70,14 @@ void Metrics::reset(SimTime now) {
     base_failures_[i] = s.failures;
     base_hits_[i] = nodes_[i]->cache().stats().hits;
     base_misses_[i] = nodes_[i]->cache().stats().misses;
+    base_sheds_[i] = sheds_of(s);
+    base_rejects_[i] = s.rejects_sent;
     s.reply_rate.sample(now);
     s.forward_rate.sample(now);
     s.request_rate.sample(now);
     s.miss_rate.sample(now);
+    s.shed_rate.sample(now);
+    nodes_[i]->reset_cpu_depth_stats(now);
   }
   for (Client* c : clients_) {
     c->stats().latency_seconds = Summary{};
@@ -146,6 +162,37 @@ std::uint64_t Metrics::total_failures() const {
     total += nodes_[i]->stats().failures - base_failures_[i];
   }
   return total;
+}
+
+std::uint64_t Metrics::total_sheds() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    total += sheds_of(nodes_[i]->stats()) - base_sheds_[i];
+  }
+  return total;
+}
+
+std::uint64_t Metrics::total_rejects() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    total += nodes_[i]->stats().rejects_sent - base_rejects_[i];
+  }
+  return total;
+}
+
+std::size_t Metrics::cpu_queue_highwater() const {
+  std::size_t hw = 0;
+  for (const MdsNode* n : nodes_) {
+    hw = std::max(hw, n->cpu().depth_highwater());
+  }
+  return hw;
+}
+
+double Metrics::mean_cpu_queue_depth(SimTime now) const {
+  if (nodes_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const MdsNode* n : nodes_) sum += n->cpu().mean_depth(now);
+  return sum / static_cast<double>(nodes_.size());
 }
 
 }  // namespace mdsim

@@ -39,6 +39,8 @@ class Metrics {
   const TimeSeries& forward_rate() const { return forward_rate_; }
   /// Fraction of client requests that were forwarded (figure 6).
   const TimeSeries& forward_fraction() const { return fwd_fraction_; }
+  /// Cluster-wide admission sheds/sec (zero with overload protection off).
+  const TimeSeries& shed_rate() const { return shed_rate_; }
 
   // --- end-of-run aggregates ----------------------------------------------
   /// Mean per-MDS throughput since the last reset (figure 2's y-axis).
@@ -53,6 +55,15 @@ class Metrics {
   Summary client_latency() const;
   std::uint64_t total_replies() const;
   std::uint64_t total_failures() const;
+  /// Requests shed at admission (queue bound + token bucket + deadline)
+  /// and explicit rejection replies sent, since the last reset.
+  std::uint64_t total_sheds() const;
+  std::uint64_t total_rejects() const;
+  /// CPU queue-depth observers: maximum high-water mark across nodes and
+  /// the across-node mean of per-node time-weighted mean depths (both
+  /// since the last reset; `cpu_queue_depth()` alone is instantaneous).
+  std::size_t cpu_queue_highwater() const;
+  double mean_cpu_queue_depth(SimTime now) const;
 
   /// Event-engine health: schedule/fire/cancel volume and InlineTask
   /// heap-fallback count (nonzero fallbacks on a hot path means an
@@ -93,6 +104,11 @@ class Metrics {
   double minority_stall_seconds() const {
     return faults_ != nullptr ? faults_->minority_stall_seconds(asof()) : 0.0;
   }
+  /// Overload episodes (first shed -> last shed per node per storm).
+  Summary overload_episode_seconds() const {
+    return faults_ != nullptr ? faults_->overload_episode_seconds(asof())
+                              : Summary{};
+  }
 
  private:
   /// Censoring horizon for open incidents: the current sim time, or
@@ -115,6 +131,7 @@ class Metrics {
   TimeSeries reply_rate_;
   TimeSeries forward_rate_;
   TimeSeries fwd_fraction_;
+  TimeSeries shed_rate_;
 
   SimTime reset_at_ = 0;
   std::vector<std::uint64_t> base_replies_;
@@ -123,6 +140,8 @@ class Metrics {
   std::vector<std::uint64_t> base_failures_;
   std::vector<std::uint64_t> base_hits_;
   std::vector<std::uint64_t> base_misses_;
+  std::vector<std::uint64_t> base_sheds_;
+  std::vector<std::uint64_t> base_rejects_;
 };
 
 }  // namespace mdsim

@@ -167,9 +167,7 @@ void ShardedClusterSim::build_shard(int s) {
         c, 100 + static_cast<std::uint32_t>(
                      (sh.first_client + c) % fs.num_users));
   }
-  sh.cohort->set_request_timeout(config_.client_request_timeout);
-  sh.cohort->set_retry_backoff(config_.client_backoff_base,
-                               config_.client_backoff_cap);
+  sh.cohort->set_retry_policy(config_.client_retry);
   sh.cohort->set_tracer(sh.tracer.get());
 
   total_mds_ += mds_count;

@@ -1,0 +1,104 @@
+// MDS-side overload protection: bounded-queue limits and a token-bucket
+// admission gate, applied in MdsNode::handle_client_request before any
+// CPU is charged.
+//
+// Zero-cost-off: with `enabled == false` (the default) the gate is a
+// single branch and every fig CSV stays byte-identical. The bucket is
+// pure arithmetic on simulated time — no RNG — so admission decisions
+// are deterministic and thread-count invariant.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace mdsim {
+
+/// Why a request was shed (or admitted).
+enum class AdmitVerdict : std::uint8_t {
+  kAdmit = 0,
+  /// CPU/disk queue bound exceeded: depth or queued-service-time backlog.
+  kShedQueue,
+  /// Token bucket empty (or below the fresh-request reserve for retries).
+  kShedBucket,
+  /// Request's deadline already passed on arrival: the client has timed
+  /// out and will discard the reply as stale — serving it is pure waste.
+  kShedDeadline,
+};
+
+struct OverloadParams {
+  /// Master switch; false keeps every fig CSV byte-identical.
+  bool enabled = false;
+
+  /// Bounded queues: reject once the CPU queue holds this many jobs...
+  std::size_t max_cpu_queue_depth = 96;
+  /// ...or this much queued service time (catches heterogeneous jobs a
+  /// pure depth bound undercounts). 0 disables the backlog bound.
+  SimTime max_cpu_queue_delay = 250 * kMillisecond;
+  /// Bound on the metadata store queue (journal writes are absorbed by
+  /// NVRAM and stay unbounded).
+  std::size_t max_disk_queue_depth = 64;
+
+  /// Token-bucket admission: sustained admits/sec. <= 0 disables the
+  /// bucket (queue bounds still apply).
+  double admit_rate = 0.0;
+  /// Bucket capacity, in tokens.
+  double admit_burst = 128.0;
+  /// Updates cost this many tokens (they journal + dirty replicas);
+  /// reads cost 1.
+  double write_cost = 2.0;
+  /// Fresh-vs-retried priority: retried requests are admitted only while
+  /// the bucket holds more than retry_reserve * admit_burst tokens, so
+  /// under pressure fresh work wins and retry storms cannot monopolize
+  /// the gate.
+  double retry_reserve = 0.3;
+
+  /// Base retry-after hint in Rejected replies; the server adds its
+  /// current CPU backlog so clients return roughly when capacity exists.
+  SimTime retry_after_base = 100 * kMillisecond;
+
+  /// Drop requests whose deadline has already passed at admission.
+  bool deadline_drop = true;
+};
+
+/// Deterministic token bucket on simulated time. Refill is computed
+/// lazily from the elapsed interval — no periodic events, no RNG.
+class TokenBucket {
+ public:
+  void init(double rate_per_sec, double burst, SimTime now) {
+    rate_ = rate_per_sec;
+    burst_ = burst;
+    tokens_ = burst;
+    last_ = now;
+  }
+
+  /// Admit a request costing `cost` tokens if, after refill, the balance
+  /// stays above `reserve`. On admit the cost is deducted.
+  bool try_take(double cost, double reserve, SimTime now) {
+    refill(now);
+    if (tokens_ - cost < reserve) return false;
+    tokens_ -= cost;
+    return true;
+  }
+
+  double tokens(SimTime now) {
+    refill(now);
+    return tokens_;
+  }
+
+ private:
+  void refill(SimTime now) {
+    if (now <= last_) return;
+    tokens_ += rate_ * to_seconds(now - last_);
+    if (tokens_ > burst_) tokens_ = burst_;
+    last_ = now;
+  }
+
+  double rate_ = 0.0;
+  double burst_ = 0.0;
+  double tokens_ = 0.0;
+  SimTime last_ = 0;
+};
+
+}  // namespace mdsim

@@ -20,6 +20,10 @@ MdsNode::MdsNode(ClusterContext& ctx, MdsId id)
       peer_ack_time_(static_cast<std::size_t>(ctx.num_mds), 0) {
   cache_.set_evict_callback(
       [this](const CacheEntry& e) { on_cache_evict(e); });
+  if (ctx.params.overload.enabled && ctx.params.overload.admit_rate > 0.0) {
+    admit_bucket_.init(ctx.params.overload.admit_rate,
+                       ctx.params.overload.admit_burst, ctx.sim.now());
+  }
   // Epoch/lease machinery only applies to explicit subtree delegation.
   subtree_map_ = dynamic_cast<SubtreePartition*>(&ctx.partition);
   if (subtree_map_ != nullptr) view_epoch_ = subtree_map_->epoch();
@@ -217,6 +221,82 @@ bool MdsNode::is_duplicate_update(const ClientRequestMsg& msg) {
   return false;
 }
 
+AdmitVerdict MdsNode::admission_verdict(const ClientRequestMsg& msg) {
+  const OverloadParams& ov = ctx_.params.overload;
+  const SimTime now = ctx_.sim.now();
+  // Dead on arrival: the client's timeout has already fired, its retry is
+  // already in flight, and our reply would be discarded as stale. Serving
+  // it is the metastable-failure fuel — drop it before it costs anything.
+  if (ov.deadline_drop && msg.deadline != 0 && now > msg.deadline) {
+    return AdmitVerdict::kShedDeadline;
+  }
+  // Bounded queues: depth and queued-service-time backlog. The backlog
+  // bound is the one that actually limits queueing delay — depth alone
+  // undercounts when traversals queue multi-component CPU charges.
+  if (cpu_.queue_depth() >= ov.max_cpu_queue_depth ||
+      (ov.max_cpu_queue_delay != 0 && cpu_.backlog() > ov.max_cpu_queue_delay)) {
+    return AdmitVerdict::kShedQueue;
+  }
+  if (disk_.store_queue_depth() >= ov.max_disk_queue_depth) {
+    return AdmitVerdict::kShedQueue;
+  }
+  // Token bucket with op-class costs and a fresh-request reserve:
+  // retried requests are admitted only from the surplus above the
+  // reserve, so a retry storm cannot starve fresh work. First entry
+  // only — a forwarded request already paid a token at the node the
+  // client contacted; charging it again would tax forwarding itself.
+  // The queue bounds above DO apply to forwarded arrivals: they are this
+  // node's local backpressure, and without them every peer's bucket
+  // funnels admitted work at a hot authority unboundedly.
+  if (ov.admit_rate > 0.0 && msg.hops == 0) {
+    const double cost = op_is_update(msg.op) ? ov.write_cost : 1.0;
+    const double reserve =
+        msg.attempt > 0 ? ov.retry_reserve * ov.admit_burst : 0.0;
+    if (!admit_bucket_.try_take(cost, reserve, now)) {
+      return AdmitVerdict::kShedBucket;
+    }
+  }
+  return AdmitVerdict::kAdmit;
+}
+
+void MdsNode::shed_request(const ClientRequestMsg& msg, NetAddr reply_to,
+                           AdmitVerdict verdict) {
+  switch (verdict) {
+    case AdmitVerdict::kShedQueue:
+      ++stats_.requests_shed_queue;
+      break;
+    case AdmitVerdict::kShedBucket:
+      ++stats_.requests_shed_admission;
+      break;
+    case AdmitVerdict::kShedDeadline:
+      ++stats_.requests_shed_deadline;
+      break;
+    case AdmitVerdict::kAdmit:
+      return;
+  }
+  stats_.shed_rate.add();
+  if (ctx_.faults != nullptr) ctx_.faults->note_shed(id_, ctx_.sim.now());
+  // A deadline drop answers no one: that client has already timed out and
+  // moved on. Queue/bucket sheds get an explicit rejection so the client
+  // backs off for `retry_after` instead of burning its timeout. The
+  // rejection is the whole point of admission control: it costs no CPU
+  // and no queue slot.
+  if (verdict == AdmitVerdict::kShedDeadline || reply_to == kInvalidAddr) {
+    return;
+  }
+  const OverloadParams& ov = ctx_.params.overload;
+  auto out = std::make_unique<ClientReplyMsg>();
+  out->req_id = msg.req_id;
+  out->success = false;
+  out->rejected = true;
+  out->retry_after = ov.retry_after_base + cpu_.backlog();
+  out->served_by = id_;
+  out->hops = msg.hops;
+  out->epoch = view_epoch_;
+  ++stats_.rejects_sent;
+  ctx_.net.send(id_, reply_to, std::move(out));
+}
+
 void MdsNode::admit_client_request(ClientRequestMsg&& msg, NetAddr reply_to) {
   // Close the link segment: client -> here (first hop) or peer -> here.
   trace_mark(msg, msg.hops == 0 ? TraceStage::kNetRequest
@@ -234,6 +314,17 @@ void MdsNode::handle_client_request(ClientRequestMsg msg, NetAddr reply_to) {
   }
   ++stats_.requests_received;
   if (msg.hops == 0) stats_.request_rate.add();
+  // Overload gate: every entry point checks deadline + queue bounds;
+  // the token bucket inside only charges first entries (hops == 0).
+  // Forwarded sheds reply straight to the client (reply_to is already
+  // the client for forwarded requests).
+  if (ctx_.params.overload.enabled) {
+    const AdmitVerdict v = admission_verdict(msg);
+    if (v != AdmitVerdict::kAdmit) {
+      shed_request(msg, reply_to, v);
+      return;
+    }
+  }
   admit_client_request(std::move(msg), reply_to);
 }
 
@@ -253,6 +344,13 @@ void MdsNode::handle_client_request_run(Delivery* items, std::size_t n) {
     }
     ++accepted;
     first_hop += msg.hops == 0;
+    if (ctx_.params.overload.enabled) {
+      const AdmitVerdict v = admission_verdict(msg);
+      if (v != AdmitVerdict::kAdmit) {
+        shed_request(msg, items[i].from, v);
+        continue;
+      }
+    }
     admit_client_request(std::move(msg), items[i].from);
   }
   stats_.duplicate_updates_dropped += dropped;

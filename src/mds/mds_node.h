@@ -25,6 +25,7 @@
 
 #include "cache/metadata_cache.h"
 #include "common/fault_log.h"
+#include "mds/admission.h"
 #include "common/stats.h"
 #include "common/types.h"
 #include "fstree/tree.h"
@@ -103,11 +104,18 @@ struct MdsStats {
   std::uint64_t duplicate_updates_dropped = 0;  // request-id dedup hits
   std::uint64_t duplicate_prepares_dropped = 0; // migration dedup hits
 
+  // Overload protection (admission gate; all zero with protection off).
+  std::uint64_t requests_shed_queue = 0;     // CPU/disk queue bound hit
+  std::uint64_t requests_shed_admission = 0; // token bucket denied
+  std::uint64_t requests_shed_deadline = 0;  // dead-on-arrival drops
+  std::uint64_t rejects_sent = 0;            // Rejected{retry_after} replies
+
   // Windowed rates, sampled by the metrics collector.
   IntervalRate reply_rate;
   IntervalRate forward_rate;
   IntervalRate request_rate;
   IntervalRate miss_rate;
+  IntervalRate shed_rate;
 };
 
 class MdsNode final : public NetEndpoint {
@@ -221,6 +229,10 @@ class MdsNode final : public NetEndpoint {
     return cache_.inflight_fetches(FetchChannel::kReplica);
   }
   std::size_t cpu_queue_depth() const { return cpu_.queue_depth(); }
+  /// CPU queue observer (depth high-water / mean depth / backlog stats).
+  const QueueServer& cpu() const { return cpu_; }
+  /// Restart the CPU queue's depth-observation window (warmup boundary).
+  void reset_cpu_depth_stats(SimTime now) { cpu_.reset_depth_stats(now); }
 
  private:
   // ---- request context --------------------------------------------------
@@ -342,6 +354,13 @@ class MdsNode final : public NetEndpoint {
   void handle_client_request_run(Delivery* items, std::size_t n);
   /// Duplicate-delivery check for updates; records the req id when new.
   bool is_duplicate_update(const ClientRequestMsg& msg);
+  /// Overload admission (only consulted when ctx_.params.overload.enabled
+  /// and the request is at first entry, hops == 0).
+  AdmitVerdict admission_verdict(const ClientRequestMsg& msg);
+  /// Account a shed and send the Rejected{retry_after} reply (deadline
+  /// drops are silent — that client is already gone). Costs no CPU.
+  void shed_request(const ClientRequestMsg& msg, NetAddr reply_to,
+                    AdmitVerdict verdict);
   /// Post-dedup tail of request admission: trace, wrap, route.
   void admit_client_request(ClientRequestMsg&& msg, NetAddr reply_to);
   void route(RequestPtr req);
@@ -535,6 +554,8 @@ class MdsNode final : public NetEndpoint {
   MetadataCache cache_;
   BoundedJournal journal_;
   MdsStats stats_;
+  /// Overload admission token bucket (inert unless overload.enabled).
+  TokenBucket admit_bucket_;
 
   // Per-inode protocol state (fetch coalescing, replica registry,
   // traffic-control replication, dirfrag temperature, pending attr

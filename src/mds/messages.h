@@ -48,6 +48,15 @@ struct ClientRequestMsg final : Message {
 
   /// Forwarding trail (for statistics + loop suppression).
   std::uint8_t hops = 0;
+  /// Retry number (0 = fresh). Saturates at 255; the admission gate only
+  /// distinguishes fresh from retried.
+  std::uint8_t attempt = 0;
+  /// Client-side deadline (issue time + request timeout). A server past
+  /// this time knows the client has already timed out and will discard
+  /// the reply as stale — overload admission drops such requests instead
+  /// of serving dead work. 0 = no deadline (and when overload protection
+  /// is off the field is never read, keeping fig runs byte-identical).
+  SimTime deadline = 0;
 
   /// Latency-attribution context, owned by the issuing client (null when
   /// tracing is off). Not a wire field: the simulator shortcut for a
@@ -71,6 +80,11 @@ struct ClientReplyMsg final : Message {
   /// Server's partition-map epoch. A jump tells the client the authority
   /// layout was reconfigured (takeover/heal): drop learned locations.
   std::uint64_t epoch = 1;
+  /// Overload rejection: the request was shed at admission, not served.
+  /// `success` is false; the client should back off `retry_after` before
+  /// retrying (and the retry counts against its budget).
+  bool rejected = false;
+  SimTime retry_after = 0;
   /// Hints for the target and its prefixes, root-down. Inline up to
   /// typical path depths: replies are the most numerous message in the
   /// system and must not drag a heap allocation each.

@@ -6,6 +6,7 @@
 #include <cstdint>
 
 #include "common/types.h"
+#include "mds/admission.h"
 #include "storage/disk_model.h"
 
 namespace mdsim {
@@ -109,6 +110,12 @@ struct MdsParams {
   /// suspicion: a peer that comes back within the grace (flapping link)
   /// cancels the takeover instead of losing its territory.
   SimTime takeover_grace = 4 * kSecond;
+
+  // --- Overload protection (admission control) ----------------------------
+  /// Bounded queues + token-bucket admission in handle_client_request;
+  /// sheds answer with explicit Rejected{retry_after} replies. Off by
+  /// default: every fig run is byte-identical with the gate disabled.
+  OverloadParams overload;
 
   // --- Traffic control (dynamic subtree only) ----------------------------
   bool traffic_control_enabled = true;

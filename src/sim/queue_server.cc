@@ -9,7 +9,9 @@ QueueServer::QueueServer(Simulation& sim, std::string name)
 
 void QueueServer::submit(SimTime service_time, InlineTask done) {
   queue_.push_back(Job{service_time, sim_.now(), std::move(done)});
+  backlog_ns_ += service_time;
   if (!busy_) start_next();
+  bump_depth(queue_depth());
 }
 
 void QueueServer::submit(SimTime service_time, TraceSpan span,
@@ -20,7 +22,9 @@ void QueueServer::submit(SimTime service_time, TraceSpan span,
     enq |= kSpanBit;
   }
   queue_.push_back(Job{service_time, enq, std::move(done)});
+  backlog_ns_ += service_time;
   if (!busy_) start_next();
+  bump_depth(queue_depth());
 }
 
 void QueueServer::start_next() {
@@ -47,9 +51,11 @@ void QueueServer::finish() {
   // Only valid when this job's kSpanBit is set; stale otherwise.
   const TraceSpan span = in_service_span_;
   ++completed_;
+  backlog_ns_ -= job.service;
   // Chain the next job before invoking the callback so that re-entrant
   // submissions from `done` queue behind already-waiting work.
   start_next();
+  bump_depth(queue_depth());
   // The access-latency tail is attributed eagerly (`skip`) rather than by
   // wrapping `done` in another task — the wrapper would overflow the
   // inline callback storage and fall back to the heap on the hot path.
@@ -69,11 +75,38 @@ double QueueServer::utilization(SimTime now) const {
   return static_cast<double>(busy_ns_) / static_cast<double>(elapsed);
 }
 
+void QueueServer::bump_depth(std::size_t depth) {
+  const SimTime now = sim_.now();
+  depth_integral_ += static_cast<double>(last_depth_) *
+                     static_cast<double>(now - depth_since_);
+  depth_since_ = now;
+  last_depth_ = depth;
+  if (depth > depth_hw_) depth_hw_ = depth;
+}
+
+double QueueServer::mean_depth(SimTime now) const {
+  const SimTime elapsed = now - depth_stats_since_;
+  if (elapsed == 0) return 0.0;
+  const double integral =
+      depth_integral_ + static_cast<double>(last_depth_) *
+                            static_cast<double>(now - depth_since_);
+  return integral / static_cast<double>(elapsed);
+}
+
+void QueueServer::reset_depth_stats(SimTime now) {
+  depth_stats_since_ = now;
+  depth_integral_ = 0.0;
+  depth_since_ = now;
+  last_depth_ = queue_depth();
+  depth_hw_ = last_depth_;
+}
+
 void QueueServer::reset_stats(SimTime now) {
   stats_since_ = now;
   busy_ns_ = 0;
   completed_ = 0;
   wait_ = Summary{};
+  reset_depth_stats(now);
 }
 
 }  // namespace mdsim

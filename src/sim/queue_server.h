@@ -43,6 +43,21 @@ class QueueServer {
   std::size_t queue_depth() const { return queue_.size() + (busy_ ? 1 : 0); }
   std::uint64_t jobs_completed() const { return completed_; }
 
+  /// Sum of service times of all jobs currently queued or in service —
+  /// the earliest a job submitted now could start, ignoring access
+  /// latency. This is what an admission gate should bound: depth alone
+  /// undercounts when jobs have heterogeneous service times.
+  SimTime backlog() const { return backlog_ns_; }
+  /// Maximum queue_depth() observed since construction or the last
+  /// depth-stats reset.
+  std::size_t depth_highwater() const { return depth_hw_; }
+  /// Time-weighted mean queue depth over the same window.
+  double mean_depth(SimTime now) const;
+  /// Restart the depth-observation window (e.g. at the warmup boundary).
+  /// Pure observer state: does not touch busy time, completion counts or
+  /// wait summaries, so callers owning deltas of those are unaffected.
+  void reset_depth_stats(SimTime now);
+
   /// Busy time / elapsed time since construction or last reset.
   double utilization(SimTime now) const;
   /// Cumulative busy time (for caller-side windowed utilization).
@@ -68,6 +83,9 @@ class QueueServer {
 
   void start_next();
   void finish();
+  /// Fold the previous depth's dwell time into the time-weighted
+  /// integral and record the new depth; called whenever depth changes.
+  void bump_depth(std::size_t depth);
 
   Simulation& sim_;
   std::string name_;
@@ -86,6 +104,16 @@ class QueueServer {
   SimTime busy_ns_ = 0;
   SimTime stats_since_ = 0;
   Summary wait_;
+  /// Unfinished work: sum of service times of queued + in-service jobs.
+  SimTime backlog_ns_ = 0;
+  /// Depth-over-time bookkeeping for depth_highwater()/mean_depth().
+  /// Separate window epoch from stats_since_: depth stats may be reset at
+  /// the warmup boundary without disturbing busy-time deltas.
+  std::size_t last_depth_ = 0;
+  std::size_t depth_hw_ = 0;
+  double depth_integral_ = 0.0;
+  SimTime depth_since_ = 0;
+  SimTime depth_stats_since_ = 0;
 };
 
 }  // namespace mdsim

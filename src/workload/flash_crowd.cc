@@ -13,20 +13,54 @@ FlashCrowdWorkload::FlashCrowdWorkload(FsTree& tree, FsNode* target,
 SimTime FlashCrowdWorkload::next(ClientId c, SimTime now, Rng& rng,
                                  Operation* out) {
   (void)c;
-  if (!tree_.alive(target_)) return kNever;
-  if (now >= params_.start + params_.duration) return kNever;
+  const SimTime end = params_.start + params_.duration;
+  if (params_.base_think == 0 || background_.empty()) {
+    // Legacy shape: idle until the crowd, done after it. Draw order must
+    // stay exactly as it always was — figure 7 runs are byte-compared.
+    if (!tree_.alive(target_)) return kNever;
+    if (now >= end) return kNever;
 
-  out->op = OpType::kOpen;
-  out->target = target_;
+    out->op = OpType::kOpen;
+    out->target = target_;
+    out->secondary = nullptr;
+    out->name.clear();
+
+    if (now < params_.start) {
+      // Everyone fires (almost) at once when the crowd begins.
+      return params_.start - now + rng.uniform(params_.skew);
+    }
+    return static_cast<SimTime>(
+        rng.exponential(static_cast<double>(params_.think)));
+  }
+
   out->secondary = nullptr;
   out->name.clear();
+  if (now >= params_.start && now < end && tree_.alive(target_)) {
+    out->op = OpType::kOpen;
+    out->target = target_;
+    return static_cast<SimTime>(
+        rng.exponential(static_cast<double>(params_.think)));
+  }
 
-  if (now < params_.start) {
-    // Everyone fires (almost) at once when the crowd begins.
+  const auto delay = static_cast<SimTime>(
+      rng.exponential(static_cast<double>(params_.base_think)));
+  if (now < params_.start && now + delay >= params_.start &&
+      tree_.alive(target_)) {
+    // The background cadence would overshoot the crowd start: join the
+    // crowd instead, with the usual per-client skew.
+    out->op = OpType::kOpen;
+    out->target = target_;
     return params_.start - now + rng.uniform(params_.skew);
   }
-  return static_cast<SimTime>(
-      rng.exponential(static_cast<double>(params_.think)));
+
+  FsNode* f = background_[rng.uniform(background_.size())];
+  if (!tree_.alive(f)) f = tree_.root();
+  out->op = (params_.base_write_fraction > 0.0 &&
+             rng.uniform_double() < params_.base_write_fraction)
+                ? OpType::kSetattr
+                : OpType::kStat;
+  out->target = f;
+  return delay;
 }
 
 }  // namespace mdsim

@@ -16,7 +16,7 @@ SimConfig failover_config(std::uint64_t seed = 42) {
   cfg.fs.nodes_per_user = 200;
   cfg.duration = 30 * kSecond;
   cfg.warmup = 2 * kSecond;
-  cfg.client_request_timeout = kSecond;  // fast retries for the test
+  cfg.client_retry.request_timeout = kSecond;  // fast retries for the test
   return cfg;
 }
 

@@ -623,7 +623,7 @@ SimConfig sweep_config(std::uint64_t seed) {
   cfg.fs.nodes_per_user = 200;
   cfg.duration = 30 * kSecond;
   cfg.warmup = 2 * kSecond;
-  cfg.client_request_timeout = kSecond;
+  cfg.client_retry.request_timeout = kSecond;
   return cfg;
 }
 

@@ -74,7 +74,7 @@ TEST_P(FailureChaos, RepeatedKillAndRecoverNeverWedges) {
   cfg.fs.nodes_per_user = 200;
   cfg.duration = 40 * kSecond;
   cfg.warmup = 2 * kSecond;
-  cfg.client_request_timeout = 500 * kMillisecond;
+  cfg.client_retry.request_timeout = 500 * kMillisecond;
   ClusterSim cluster(cfg);
 
   Rng rng(GetParam(), 0xc4a05);
