@@ -47,6 +47,12 @@ inline void apply_overload_noop(SimConfig* cfg) {
   ov.deadline_drop = false;
 }
 
+/// --giga-off: fall back to all-at-once directory hashing. Runs that
+/// never fragment a directory must be byte-identical either way — CI
+/// diffs the fig CSVs to prove the GIGA+ layer is zero-cost when no
+/// directory ever splits.
+inline void apply_giga_off(SimConfig* cfg) { cfg->mds.giga_enabled = false; }
+
 /// All five strategies in the paper's legend order.
 inline const std::vector<StrategyKind>& all_strategies() {
   static const std::vector<StrategyKind> kAll = {

@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   int shards = 1;
   int threads = 1;
   bool overload_noop = false;
+  bool giga_off = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
@@ -31,6 +32,8 @@ int main(int argc, char** argv) {
       threads = std::atoi(arg.c_str() + 10);
     } else if (arg == "--overload-noop") {
       overload_noop = true;  // gate enabled, limits unreachable: must match
+    } else if (arg == "--giga-off") {
+      giga_off = true;  // all-at-once hashing: must match when nothing splits
     }
   }
   // --shards=1 (the default) is the classic single-engine path and
@@ -51,6 +54,7 @@ int main(int argc, char** argv) {
       config.shards = shards;
       config.threads = threads;
       if (overload_noop) apply_overload_noop(&config);
+      if (giga_off) apply_giga_off(&config);
       const RunResult r = run_one(config);
       csv.field(strategy_name(k))
           .field(std::int64_t{n})

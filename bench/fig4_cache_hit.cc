@@ -16,12 +16,15 @@ int main(int argc, char** argv) {
 
   std::vector<double> fractions{0.05, 0.10, 0.20, 0.35, 0.60};
   bool overload_noop = false;
+  bool giga_off = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
       fractions = {0.05, 0.20, 0.60};
     } else if (arg == "--overload-noop") {
       overload_noop = true;  // gate enabled, limits unreachable: must match
+    } else if (arg == "--giga-off") {
+      giga_off = true;  // all-at-once hashing: must match when nothing splits
     }
   }
 
@@ -36,6 +39,7 @@ int main(int argc, char** argv) {
     for (StrategyKind k : all_strategies()) {
       SimConfig config = cache_sweep_config(k, frac);
       if (overload_noop) apply_overload_noop(&config);
+      if (giga_off) apply_giga_off(&config);
       const RunResult r = run_one(config);
       csv.field(strategy_name(k))
           .field(frac)

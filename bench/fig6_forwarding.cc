@@ -10,7 +10,7 @@ using namespace mdsim::bench;
 namespace {
 
 void run_strategy(StrategyKind k, CsvWriter& csv, bool quick,
-                  bool overload_noop) {
+                  bool overload_noop, bool giga_off) {
   SimConfig cfg = shift_config(k);
   if (quick) {
     cfg.num_mds = 6;
@@ -20,6 +20,7 @@ void run_strategy(StrategyKind k, CsvWriter& csv, bool quick,
     cfg.shifting.shift_at = 12 * kSecond;
   }
   if (overload_noop) apply_overload_noop(&cfg);
+  if (giga_off) apply_giga_off(&cfg);
   ClusterSim cluster(cfg);
   cluster.run();
 
@@ -50,16 +51,20 @@ int main(int argc, char** argv) {
          "paper: fig 6, section 5.3.3 (Client Ignorance)");
   bool quick = false;
   bool overload_noop = false;
+  bool giga_off = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") quick = true;
     if (arg == "--overload-noop") overload_noop = true;
+    if (arg == "--giga-off") giga_off = true;
   }
 
   CsvWriter csv(csv_path("fig6_forwarding"));
   csv.header({"strategy", "time_s", "forward_fraction"});
-  run_strategy(StrategyKind::kDynamicSubtree, csv, quick, overload_noop);
-  run_strategy(StrategyKind::kStaticSubtree, csv, quick, overload_noop);
+  run_strategy(StrategyKind::kDynamicSubtree, csv, quick, overload_noop,
+               giga_off);
+  run_strategy(StrategyKind::kStaticSubtree, csv, quick, overload_noop,
+               giga_off);
   std::cout << "\nExpected shape: both spike when clients move into "
                "unexplored territory; the static fraction decays back to "
                "its discovery baseline, while the dynamic one stays higher "

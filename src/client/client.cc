@@ -41,6 +41,27 @@ void Client::schedule_next() {
 MdsId Client::pick_mds(const Operation& op) {
   const StrategyTraits traits = traits_for(partition_.kind());
   if (!traits.client_computes_location) {
+    // GIGA+: if the op's governing directory has a cached split bitmap,
+    // route straight to the owning partition (possibly stale — the
+    // server answers mis-routes with a redirect and forwards). The
+    // giga_empty() guard keeps the common no-fragmentation path free of
+    // this block entirely, RNG draws included.
+    if (!locations_.giga_empty()) {
+      const bool namespace_op = op.op == OpType::kCreate ||
+                                op.op == OpType::kMkdir ||
+                                op.op == OpType::kLink;
+      const FsNode* dir = namespace_op ? op.target : op.target->parent();
+      if (dir != nullptr) {
+        const auto* g = locations_.giga_for(dir->ino());
+        if (g != nullptr) {
+          const std::uint64_t h = giga_name_hash(
+              dir->ino(), namespace_op ? op.name : op.target->name());
+          const std::uint32_t p =
+              giga_partition(h, g->bitmap, dirfrag_.max_depth());
+          return giga_node(g->home, p, num_mds_);
+        }
+      }
+    }
     return locations_.resolve(op.target, rng_, num_mds_);
   }
   // Hash strategies: the client knows the placement function.
@@ -158,6 +179,15 @@ void Client::issue(const Operation& op) {
 
 void Client::on_message(NetAddr from, MessagePtr msg) {
   (void)from;
+  if (msg->type == MsgType::kGigaRedirect) {
+    // Stale-bitmap correction for a mis-routed dentry op. The op itself
+    // is still in flight (the server forwarded it); just learn the fresh
+    // bitmap so the next op routes right.
+    const auto& r = static_cast<GigaRedirectMsg&>(*msg);
+    ++stats_.giga_redirects;
+    locations_.learn_giga(r.dir, r.bitmap, r.home);
+    return;
+  }
   if (msg->type != MsgType::kClientReply) return;
   auto& reply = static_cast<ClientReplyMsg&>(*msg);
   if (reply.req_id != inflight_req_) {
@@ -230,6 +260,9 @@ void Client::on_message(NetAddr from, MessagePtr msg) {
     locations_.clear();
   }
   locations_.learn(reply.hints);
+  if (reply.giga_dir != kInvalidInode) {
+    locations_.learn_giga(reply.giga_dir, reply.giga_bitmap, reply.giga_home);
+  }
 
   schedule_next();
 }

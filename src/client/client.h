@@ -36,6 +36,7 @@ struct ClientStats {
   std::uint64_t stale_replies = 0;      // late/duplicate replies ignored
   std::uint64_t rejected_replies = 0;   // overload Rejected{retry_after}
   std::uint64_t retries_suppressed = 0; // retry budget dry: failed fast
+  std::uint64_t giga_redirects = 0;     // stale-bitmap corrections received
   Summary latency_seconds;
 };
 

@@ -139,6 +139,25 @@ void ClientCohort::begin_turn(std::uint32_t idx) {
 MdsId ClientCohort::pick_mds(std::uint32_t idx, const Operation& op) {
   const StrategyTraits traits = traits_for(partition_.kind());
   if (!traits.client_computes_location) {
+    // GIGA+ routing, mirroring Client::pick_mds branch for branch (and
+    // draw for draw: this path consumes no RNG) so cohort and standalone
+    // clients stay in lockstep.
+    if (!locs_[idx].giga_empty()) {
+      const bool namespace_op = op.op == OpType::kCreate ||
+                                op.op == OpType::kMkdir ||
+                                op.op == OpType::kLink;
+      const FsNode* dir = namespace_op ? op.target : op.target->parent();
+      if (dir != nullptr) {
+        const auto* g = locs_[idx].giga_for(dir->ino());
+        if (g != nullptr) {
+          const std::uint64_t h = giga_name_hash(
+              dir->ino(), namespace_op ? op.name : op.target->name());
+          const std::uint32_t p =
+              giga_partition(h, g->bitmap, dirfrag_.max_depth());
+          return giga_node(g->home, p, num_mds_);
+        }
+      }
+    }
     return locs_[idx].resolve(op.target, rngs_[idx], num_mds_);
   }
   const bool namespace_op = op.op == OpType::kCreate ||
@@ -258,6 +277,15 @@ void ClientCohort::on_retry(std::uint32_t idx) {
 
 void ClientCohort::on_reply(std::uint32_t idx, NetAddr from, MessagePtr msg) {
   (void)from;
+  if (msg->type == MsgType::kGigaRedirect) {
+    // Reply-path context: stats_ updated directly, as in Client. A
+    // redirect for a *remote* turn names another shard's inode; like
+    // remote hints/epochs, it is never learned.
+    const auto& r = static_cast<GigaRedirectMsg&>(*msg);
+    ++stats_.giga_redirects;
+    if (remote_[idx] == 0) locs_[idx].learn_giga(r.dir, r.bitmap, r.home);
+    return;
+  }
   if (msg->type != MsgType::kClientReply) return;
   auto& reply = static_cast<ClientReplyMsg&>(*msg);
   if (reply.req_id != inflight_[idx]) {
@@ -320,6 +348,10 @@ void ClientCohort::on_reply(std::uint32_t idx, NetAddr from, MessagePtr msg) {
       locs_[idx].clear();
     }
     locs_[idx].learn(reply.hints);
+    if (reply.giga_dir != kInvalidInode) {
+      locs_[idx].learn_giga(reply.giga_dir, reply.giga_bitmap,
+                            reply.giga_home);
+    }
   }
   // Remote replies: hints and epochs describe another shard's namespace
   // and partition map — both are meaningless against ours, so neither is

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.h"
@@ -51,8 +52,39 @@ class LocationCache {
   std::size_t size() const { return size_; }
   const LocationHint* hint_for(InodeId ino) const;
 
+  // --- GIGA+ split bitmaps (possibly stale; corrected by redirects) --------
+
+  /// Cached bitmap+home of a giga-fragmented directory.
+  struct GigaEntry {
+    std::uint64_t bitmap = 0;
+    MdsId home = kInvalidMds;
+  };
+
+  /// Learn/refresh a directory's split bitmap (from a reply piggyback or
+  /// a GigaRedirect). bitmap == 0 means the directory was unhashed: drop.
+  void learn_giga(InodeId dir, std::uint64_t bitmap, MdsId home) {
+    if (dir == kInvalidInode) return;
+    if (bitmap == 0) {
+      giga_.erase(dir);
+    } else {
+      giga_[dir] = GigaEntry{bitmap, home};
+    }
+  }
+  const GigaEntry* giga_for(InodeId dir) const {
+    if (giga_.empty()) return nullptr;
+    auto it = giga_.find(dir);
+    return it == giga_.end() ? nullptr : &it->second;
+  }
+  /// Fast guard for the routing hot path: true in every run where no
+  /// directory ever fragmented (the common case).
+  bool giga_empty() const { return giga_.empty(); }
+  std::size_t giga_size() const { return giga_.size(); }
+
   /// Drop everything (the cluster told us its authority layout was
-  /// reconfigured; per-item invalidation is not worth modeling).
+  /// reconfigured; per-item invalidation is not worth modeling). Split
+  /// bitmaps survive an epoch flush: they are per-directory maps keyed
+  /// off a stable home, not authority-map state, and the redirect
+  /// protocol corrects them if they did go stale.
   void clear() {
     slots_.clear();
     size_ = 0;
@@ -71,6 +103,10 @@ class LocationCache {
   std::size_t size_ = 0;
   /// Power-of-two table; slot.ino == kInvalidInode means empty.
   std::vector<LocationHint> slots_;
+  /// Giga-fragmented directories this client knows about. Tiny (only
+  /// directories hot/big enough to fragment) and off the resolve() probe
+  /// path, so a plain map is fine here.
+  std::unordered_map<InodeId, GigaEntry> giga_;
 };
 
 }  // namespace mdsim

@@ -21,7 +21,8 @@ void ClusterSim::build() {
   net_params.seed = config_.seed;
   net_ = std::make_unique<Network>(sim_, net_params);
   partition_ = make_partitioner(config_.strategy, config_.num_mds, tree_);
-  dirfrag_ = std::make_unique<DirFragRegistry>(config_.num_mds);
+  dirfrag_ = std::make_unique<DirFragRegistry>(config_.num_mds,
+                                               config_.mds.giga_max_depth);
   if (config_.strategy == StrategyKind::kLazyHybrid) {
     lazy_ = std::make_unique<LazyHybridManager>(tree_);
   }
@@ -179,6 +180,7 @@ void ClusterSim::fail_mds(MdsId failed, bool warm_takeover) {
   // No heartbeats (hashed / static strategies) or detection disabled:
   // apply the redistribution directly, as an external monitor would.
   std::vector<MdsId> survivors;
+  dirfrag_->set_node_alive(failed, false);
   for (MdsId i = 0; i < config_.num_mds; ++i) {
     if (i == failed || mds(i).failed()) continue;
     survivors.push_back(i);
@@ -236,6 +238,7 @@ void ClusterSim::recover_mds(MdsId node) {
       ctx_->params.failure_detection) {
     return;  // peers mark it up when its heartbeats resume
   }
+  dirfrag_->set_node_alive(node, true);
   for (MdsId i = 0; i < config_.num_mds; ++i) {
     if (i == node || mds(i).failed()) continue;
     mds(i).mark_peer_up(node);

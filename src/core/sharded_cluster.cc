@@ -72,7 +72,8 @@ void ShardedClusterSim::build_shard(int s) {
 
   const int mds_count = std::max(1, split(config_.num_mds, S, s));
   sh.partition = make_partitioner(config_.strategy, mds_count, sh.tree);
-  sh.dirfrag = std::make_unique<DirFragRegistry>(mds_count);
+  sh.dirfrag =
+      std::make_unique<DirFragRegistry>(mds_count, config_.mds.giga_max_depth);
   if (config_.strategy == StrategyKind::kLazyHybrid) {
     sh.lazy = std::make_unique<LazyHybridManager>(sh.tree);
   }

@@ -86,6 +86,7 @@ void MdsNode::heartbeat_tick() {
     msg->load = last_load_;
     msg->epoch = view_epoch_;
     msg->alive_mask = alive_mask;
+    msg->dirfrag_gen = ctx_.dirfrag.generation();
     ctx_.net.send(id_, peer, std::move(msg));
   }
   maybe_unreplicate();
@@ -109,13 +110,18 @@ void MdsNode::handle_heartbeat(const HeartbeatMsg& m) {
   observe_epoch(m.epoch);
   if (peer_alive_[idx] == 0) {
     // First heartbeat after an outage (or a false detection): the peer is
-    // back — restore it as a migration and forwarding target.
+    // back — restore it as a migration and forwarding target, and as a
+    // dentry-authority candidate for fragmented directories.
     peer_alive_[idx] = 1;
     mark_peer_up(m.sender);
+    ctx_.dirfrag.set_node_alive(m.sender, true);
     if (ctx_.faults != nullptr) {
       ctx_.faults->note_marked_up(m.sender, ctx_.sim.now());
     }
   }
+  // A heartbeat generation ahead of what we've applied means we missed a
+  // DirFragNotify (link fault, partition): catch up now.
+  if (m.dirfrag_gen > dirfrag_seen_gen_) dirfrag_resync(m.dirfrag_gen);
   peer_loads_[idx] = m.load;
 }
 

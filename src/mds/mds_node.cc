@@ -381,13 +381,21 @@ void MdsNode::route(RequestPtr req) {
   // directory fragmentation its authority hashes by name.
   const FsNode* governed = req->target;
   MdsId auth;
+  InodeId giga_gov = kInvalidInode;  // giga-fragmented dir governing this op
   const bool namespace_op = m.op == OpType::kCreate ||
                             m.op == OpType::kMkdir || m.op == OpType::kLink;
   if (namespace_op && ctx_.traits.dynamic_dirfrag &&
       ctx_.dirfrag.is_fragmented(req->target->ino())) {
     auth = ctx_.dirfrag.dentry_authority(req->target->ino(), m.name);
+    const auto* g = ctx_.dirfrag.find(req->target->ino());
+    if (g != nullptr && g->giga) giga_gov = req->target->ino();
   } else {
     auth = authority_for(governed);
+    if (ctx_.traits.dynamic_dirfrag && req->target->parent() != nullptr &&
+        ctx_.dirfrag.is_fragmented(req->target->parent()->ino())) {
+      const auto* g = ctx_.dirfrag.find(req->target->parent()->ino());
+      if (g != nullptr && g->giga) giga_gov = req->target->parent()->ino();
+    }
   }
 
   if (subtree_frozen(req->target)) {
@@ -407,6 +415,24 @@ void MdsNode::route(RequestPtr req) {
   }
 
   if (auth != id_) {
+    if (giga_gov != kInvalidInode) {
+      // Mis-routed dentry op on a giga directory. A zero-hop arrival came
+      // straight off the client's stale bitmap: send the correction so
+      // its redirect rate decays to zero after the last split. Either way
+      // the op still makes progress — forwarded below, or served here
+      // once the hop budget is spent (the shared tree makes a local serve
+      // correct, just cache-cold).
+      if (m.hops == 0 && m.client_addr != kInvalidAddr) {
+        send_giga_redirect(m, giga_gov);
+      }
+      if (m.hops >= ctx_.params.giga_max_hops) {
+        const SimTime cost =
+            ctx_.params.cpu_request +
+            ctx_.params.cpu_per_component * (req->target->depth() + 1);
+        charge_cpu(cost, cpu_span(req), [this, req]() { serve(req); });
+        return;
+      }
+    }
     // Monotone attribute writes can be absorbed at a replica holder and
     // shipped to the authority in batches (GPFS-style, section 4.2).
     if (try_local_attr_update(req)) return;
@@ -634,6 +660,7 @@ void MdsNode::apply_update(RequestPtr req) {
                       now);
       }
       invalidate_replicas(dir->ino(), /*removed=*/false);
+      giga_note_namespace_op(dir, m.name, +1);
       break;
     }
 
@@ -656,6 +683,7 @@ void MdsNode::apply_update(RequestPtr req) {
       if (node->is_dir()) ctx_.store.drop(node);
       invalidate_replicas(node->ino(), /*removed=*/true);
       invalidate_replicas(dir->ino(), /*removed=*/false);
+      giga_note_namespace_op(dir, name, -1);
       break;
     }
 
@@ -676,6 +704,8 @@ void MdsNode::apply_update(RequestPtr req) {
           DirRecord{node->ino(), node->inode().version, node->is_dir()});
       invalidate_replicas(src_dir->ino(), /*removed=*/false);
       invalidate_replicas(dst->ino(), /*removed=*/false);
+      giga_note_namespace_op(src_dir, old_name, -1);
+      giga_note_namespace_op(dst, m.name, +1);
       if (is_dir) {
         // Every descendant changed position (and, under hashing,
         // location). Anchored links keep resolving through the moved dir.
@@ -758,6 +788,7 @@ void MdsNode::apply_update(RequestPtr req) {
       }
       ctx_.anchors.anchor(target->ino(), chain);
       invalidate_replicas(dir->ino(), /*removed=*/false);
+      giga_note_namespace_op(dir, m.name, +1);
       break;
     }
 

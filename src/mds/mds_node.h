@@ -110,6 +110,10 @@ struct MdsStats {
   std::uint64_t requests_shed_deadline = 0;  // dead-on-arrival drops
   std::uint64_t rejects_sent = 0;            // Rejected{retry_after} replies
 
+  // GIGA+ incremental directory splitting.
+  std::uint64_t giga_redirects_sent = 0;  // stale-bitmap corrections sent
+  std::uint64_t dirfrag_resyncs = 0;      // heartbeat-gen catch-up sweeps
+
   // Windowed rates, sampled by the metrics collector.
   IntervalRate reply_rate;
   IntervalRate forward_rate;
@@ -172,6 +176,12 @@ class MdsNode final : public NetEndpoint {
     const EntryAux* a = cache_.aux_peek(dir);
     return (a != nullptr && a->has_dir_temp) ? a->dir_op_temp.get(now) : 0.0;
   }
+  /// Whole-directory fetch cost this node would charge for `node` right
+  /// now (exercises the dirfrag shard-read accounting).
+  std::uint32_t fetch_cost_probe(FsNode* node) { return fetch_cost_nodes(node); }
+  /// Run the post-transition dentry shed directly (tests).
+  void drop_foreign_dentries_probe(FsNode* dir) { drop_foreign_dentries(dir); }
+  std::uint64_t dirfrag_seen_gen() const { return dirfrag_seen_gen_; }
   // ---- failure lifecycle (mds_node.cc, recovery.cc) -----------------------
   /// Mark the node failed (it is also taken off the network by the
   /// cluster). While failed, incoming messages are dropped and the
@@ -527,6 +537,23 @@ class MdsNode final : public NetEndpoint {
   /// Drop cached children of `dir` whose dentry authority is no longer
   /// this node (after a fragment/unfragment transition).
   void drop_foreign_dentries(FsNode* dir);
+  /// Exact per-partition bookkeeping at the node applying a namespace
+  /// op: count delta, partition heat, and (on a create) the split check.
+  void giga_note_namespace_op(FsNode* dir, const std::string& name,
+                              int delta);
+  /// Split the partition `name` hashes into if it crossed its threshold
+  /// (runs at the node that just applied a create into it).
+  void maybe_split_partition(FsNode* dir, const std::string& name);
+  /// Giga merge policy: fold cold leaf partitions back, one per sweep,
+  /// and unhash once fully merged and cold (home node only).
+  void maybe_merge_partitions(FsNode* dir);
+  void broadcast_dirfrag_notify(InodeId dir, bool fragmented);
+  /// Heartbeat carried a newer registry generation than we've applied:
+  /// re-run drop_foreign_dentries over every directory changed since.
+  void dirfrag_resync(std::uint64_t peer_gen);
+  /// Reply to a mis-routed dentry op with the fresh bitmap (then the
+  /// caller still forwards the op).
+  void send_giga_redirect(const ClientRequestMsg& m, InodeId dir);
 
   // ---- distributed attribute updates (attr_updates.cc) ---------------------
   /// Absorb a setattr at a replica holder (GPFS-style, section 4.2);
@@ -608,6 +635,11 @@ class MdsNode final : public NetEndpoint {
   // dead peer from silence; the first heartbeat heard marks it back up).
   std::vector<std::uint8_t> peer_alive_;
   std::vector<SimTime> peer_last_hb_;
+
+  // Highest dirfrag-registry generation this node has applied (its own
+  // transitions and notifies count only via the heartbeat catch-up; see
+  // dirfrag_resync()).
+  std::uint64_t dirfrag_seen_gen_ = 0;
 
   // Partition tolerance. The subtree map (null for hash strategies), this
   // node's frozen-while-fenced view of its epoch, and the authority lease:

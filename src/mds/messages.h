@@ -89,6 +89,15 @@ struct ClientReplyMsg final : Message {
   /// typical path depths: replies are the most numerous message in the
   /// system and must not drag a heap allocation each.
   InlineVec<LocationHint, 12> hints;
+  /// GIGA+ piggyback: split bitmap of the deepest fragmented directory on
+  /// the reply's path (clients cache it and route dentry ops straight to
+  /// the owning partition). giga_dir == kInvalidInode when no directory
+  /// on the path is giga-fragmented; a valid dir with giga_bitmap == 0
+  /// tells the client the directory was unhashed — drop the cached map.
+  /// Modeled wire size unchanged: the bitmap rides in reply slack.
+  InodeId giga_dir = kInvalidInode;
+  std::uint64_t giga_bitmap = 0;
+  MdsId giga_home = kInvalidMds;
 };
 
 /// MDS-to-MDS: carry a client request to the authoritative node.
@@ -151,6 +160,10 @@ struct HeartbeatMsg final : Message {
   /// heartbeats whose mask lists it — under an asymmetric cut, hearing
   /// the majority is not enough; the majority must still be hearing *us*.
   std::vector<std::uint64_t> alive_mask;
+  /// Sender's dirfrag-registry generation. A receiver that lags re-syncs
+  /// (re-runs drop_foreign_dentries over changed directories), healing
+  /// DirFragNotify messages lost to link faults or partitions.
+  std::uint64_t dirfrag_gen = 0;
   bool lists_alive(MdsId id) const {
     const auto w = static_cast<std::size_t>(id) / 64;
     return w < alive_mask.size() &&
@@ -236,6 +249,23 @@ struct DirFragNotifyMsg final : Message {
   MessagePtr clone() const override { return std::make_unique<DirFragNotifyMsg>(*this); }
   InodeId dir = kInvalidInode;
   bool fragmented = true;
+  /// Split bitmap and registry generation as of the transition. The
+  /// notify is best-effort (single-shot, unacked); the generation on
+  /// balancer heartbeats is what guarantees eventual re-sync.
+  std::uint64_t bitmap = 0;
+  std::uint64_t gen = 0;
+};
+
+/// Correction for a mis-routed dentry op: the receiver's cached split
+/// bitmap for `dir` is stale. The server still forwards the op to the
+/// right partition (bounded hops); the client learns the fresh bitmap so
+/// the redirect rate decays to zero after the last split.
+struct GigaRedirectMsg final : Message {
+  GigaRedirectMsg() : Message(MsgType::kGigaRedirect, 40) {}
+  MessagePtr clone() const override { return std::make_unique<GigaRedirectMsg>(*this); }
+  InodeId dir = kInvalidInode;
+  std::uint64_t bitmap = 0;
+  MdsId home = kInvalidMds;
 };
 
 }  // namespace mdsim

@@ -149,6 +149,23 @@ struct MdsParams {
   double dirfrag_temp_threshold = 1200.0;
   /// Merge back when size and popularity fall below half the thresholds.
   double dirfrag_hysteresis = 0.25;
+
+  // --- GIGA+ incremental splitting (within dirfrag) -----------------------
+  /// Fragment incrementally: start as a single partition at the home node
+  /// and split one hot/overfull partition at a time, instead of hashing
+  /// the whole directory across the cluster in one step. Off restores the
+  /// paper's all-at-once behavior exactly.
+  bool giga_enabled = true;
+  /// Maximum split depth: at most 2^depth partitions per directory.
+  int giga_max_depth = 6;
+  /// Per-partition split thresholds; 0 inherits the directory-level
+  /// dirfrag thresholds (scaled to one partition's share by depth).
+  std::size_t giga_split_size = 0;
+  double giga_split_temp = 0.0;
+  /// A mis-routed dentry op is redirected+forwarded at most this many
+  /// times before being served locally (the shared tree makes a local
+  /// serve correct, just cache-cold).
+  int giga_max_hops = 8;
 };
 
 }  // namespace mdsim

@@ -93,6 +93,10 @@ void MdsNode::on_peer_detected_down(MdsId peer) {
   const SimTime now = ctx_.sim.now();
   peer_alive_[static_cast<std::size_t>(peer)] = 0;
   mark_peer_down(peer);
+  // Dentry authorities of fragmented directories route around the dead
+  // node from here on (the hash otherwise keeps sending its share of the
+  // directory into a black hole until the peer recovers).
+  ctx_.dirfrag.set_node_alive(peer, false);
   ++stats_.peer_down_detections;
   if (ctx_.faults != nullptr) ctx_.faults->note_detection(peer, id_, now);
 

@@ -148,6 +148,24 @@ void MdsNode::fill_hints(const RequestPtr& req, ClientReplyMsg& out) {
         ctx_.dirfrag.is_fragmented(n->parent()->ino())) {
       a = ctx_.dirfrag.dentry_authority(n->parent()->ino(), n->name());
     }
+    if (ctx_.traits.dynamic_dirfrag && n->is_dir()) {
+      // GIGA+ piggyback: the deepest fragmented directory on the path
+      // wins (root-down loop, so later assignments are deeper). A
+      // since-unhashed directory gets bitmap 0 so stale clients drop
+      // their cached map instead of routing by it forever.
+      if (ctx_.dirfrag.is_fragmented(n->ino())) {
+        const auto* g = ctx_.dirfrag.find(n->ino());
+        if (g != nullptr && g->giga) {
+          out.giga_dir = n->ino();
+          out.giga_bitmap = g->bitmap;
+          out.giga_home = g->home;
+        }
+      } else if (ctx_.dirfrag.changed_ever(n->ino())) {
+        out.giga_dir = n->ino();
+        out.giga_bitmap = 0;
+        out.giga_home = kInvalidMds;
+      }
+    }
     LocationHint h;
     h.ino = n->ino();
     h.authority = a;
@@ -175,47 +193,202 @@ void MdsNode::drop_foreign_dentries(FsNode* dir) {
 }
 
 void MdsNode::maybe_fragment_dir(FsNode* dir, CacheEntry* entry) {
-  (void)entry;
+  // Per-op calls pass the directory's cache entry; the heartbeat sweep
+  // passes null (giga pair-merges run only on the sweep cadence).
+  const bool sweep = entry == nullptr;
   const SimTime now = ctx_.sim.now();
   const MdsParams& P = ctx_.params;
   const double pop = dir_op_temperature(dir->ino(), now);
-  const bool fragged = ctx_.dirfrag.is_fragmented(dir->ino());
+  // Activity floor: a size trigger must also see real traffic. That lets
+  // the cooled test be about temperature alone — a stone-cold directory
+  // unhashes no matter how many children it keeps (children don't
+  // vanish, so a size term in the merge condition made size-fragmented
+  // directories permanent).
+  const double floor = P.dirfrag_temp_threshold * P.dirfrag_hysteresis;
 
-  if (!fragged) {
-    // Only the directory's authority makes the call.
-    if (ctx_.partition.authority_of(dir) != id_) return;
-    const bool too_big = dir->child_count() >= P.dirfrag_size_threshold;
+  // Only the directory's authority makes these calls.
+  if (ctx_.partition.authority_of(dir) != id_) return;
+
+  if (!ctx_.dirfrag.is_fragmented(dir->ino())) {
     const bool too_hot = pop >= P.dirfrag_temp_threshold;
+    const bool too_big =
+        dir->child_count() >= P.dirfrag_size_threshold && pop >= floor;
     if (!too_big && !too_hot) return;
-    ctx_.dirfrag.fragment(dir->ino());
-    ++ctx_.dirfrag.fragment_events;
-  } else {
-    if (ctx_.partition.authority_of(dir) != id_) return;
-    const bool cooled =
-        pop < P.dirfrag_temp_threshold * P.dirfrag_hysteresis &&
-        dir->child_count() <
-            static_cast<std::size_t>(P.dirfrag_size_threshold *
-                                     P.dirfrag_hysteresis);
-    if (!cooled) return;
-    ctx_.dirfrag.unfragment(dir->ino());
-    ++ctx_.dirfrag.merge_events;
+    // Seed partition 0 with the directory's current op temperature so a
+    // just-fragmented hot directory doesn't read as stone-cold on the
+    // next sweep and immediately unhash.
+    ctx_.dirfrag.fragment(dir->ino(), id_, P.giga_enabled,
+                          /*by_size=*/too_big && !too_hot,
+                          dir->child_count(), pop, now,
+                          P.popularity_half_life);
+    broadcast_dirfrag_notify(dir->ino(), /*fragmented=*/true);
+    drop_foreign_dentries(dir);
+    dirfrag_seen_gen_ = ctx_.dirfrag.generation();
+    return;
   }
 
-  // Announce the transition; everyone sheds dentries they no longer own.
+  const auto* g = ctx_.dirfrag.find(dir->ino());
+  if (g == nullptr) return;
+  if (g->giga) {
+    if (sweep) maybe_merge_partitions(dir);
+    return;
+  }
+  // Legacy all-at-once entry: unhash on temperature, scaled by the
+  // trigger that fragmented it (size-fragmented directories need a
+  // deeper chill before re-consolidating — the size condition that
+  // hashed them still holds, so plain hysteresis would flap).
+  const double cooled_at = floor * (g->by_size ? P.dirfrag_hysteresis : 1.0);
+  if (pop >= cooled_at) return;
+  ctx_.dirfrag.unfragment(dir->ino(), dir->child_count());
+  broadcast_dirfrag_notify(dir->ino(), /*fragmented=*/false);
+  drop_foreign_dentries(dir);
+  dirfrag_seen_gen_ = ctx_.dirfrag.generation();
+}
+
+void MdsNode::giga_note_namespace_op(FsNode* dir, const std::string& name,
+                                     int delta) {
+  if (!ctx_.traits.dynamic_dirfrag) return;
+  const InodeId ino = dir->ino();
+  if (!ctx_.dirfrag.is_fragmented(ino)) return;
+  if (delta > 0) {
+    ctx_.dirfrag.note_create(ino, name);
+  } else {
+    ctx_.dirfrag.note_remove(ino, name);
+  }
+  ctx_.dirfrag.note_heat(ino, name, ctx_.sim.now());
+  if (delta > 0) maybe_split_partition(dir, name);
+}
+
+void MdsNode::maybe_split_partition(FsNode* dir, const std::string& name) {
+  const SimTime now = ctx_.sim.now();
+  const MdsParams& P = ctx_.params;
+  const InodeId ino = dir->ino();
+  const auto* g = ctx_.dirfrag.find(ino);
+  if (g == nullptr || !g->giga) return;
+
+  const std::uint32_t p =
+      giga_partition(giga_name_hash(ino, name), g->bitmap,
+                     ctx_.dirfrag.max_depth());
+  const int d = giga_depth_of(g->bitmap, p, ctx_.dirfrag.max_depth());
+  if (d >= ctx_.dirfrag.max_depth()) return;
+
+  const std::size_t split_size =
+      P.giga_split_size != 0 ? P.giga_split_size : P.dirfrag_size_threshold;
+  const double split_temp =
+      P.giga_split_temp != 0.0 ? P.giga_split_temp : P.dirfrag_temp_threshold;
+  const double floor = P.dirfrag_temp_threshold * P.dirfrag_hysteresis;
+  const double temp = g->temps[p].get(now);
+  const bool hot = temp >= split_temp;
+  const bool full = g->counts[p] >= split_size && temp >= floor;
+  if (!hot && !full) return;
+
+  // Exact rehash of the one splitting partition: count which of its
+  // dentries stay and which move to the new child. Only this partition's
+  // entries are touched — the incremental property the bench asserts.
+  const std::uint32_t c = p + (1u << d);
+  const std::uint64_t next_bitmap = g->bitmap | (std::uint64_t{1} << c);
+  std::uint64_t stay = 0;
+  std::uint64_t move = 0;
+  for (const FsNode* child : dir->children_list()) {
+    const std::uint64_t h = giga_name_hash(ino, child->name());
+    if (giga_partition(h, g->bitmap, ctx_.dirfrag.max_depth()) != p) continue;
+    if (giga_partition(h, next_bitmap, ctx_.dirfrag.max_depth()) == c) {
+      ++move;
+    } else {
+      ++stay;
+    }
+  }
+  ctx_.dirfrag.split(ino, p, stay, move, now);
+  broadcast_dirfrag_notify(ino, /*fragmented=*/true);
+  drop_foreign_dentries(dir);
+  dirfrag_seen_gen_ = ctx_.dirfrag.generation();
+}
+
+void MdsNode::maybe_merge_partitions(FsNode* dir) {
+  const SimTime now = ctx_.sim.now();
+  const MdsParams& P = ctx_.params;
+  const InodeId ino = dir->ino();
+  const auto* g = ctx_.dirfrag.find(ino);
+  if (g == nullptr || !g->giga) return;
+  const double floor = P.dirfrag_temp_threshold * P.dirfrag_hysteresis;
+
+  if (g->bitmap != 1) {
+    // Fold at most one cold leaf back into its parent per sweep (merges
+    // reverse one split at a time). Deepest-index first: the partitions
+    // a cooling storm created last go first, deterministically.
+    for (int c = 63; c > 0; --c) {
+      if (((g->bitmap >> c) & 1) == 0) continue;
+      const std::uint32_t cp = static_cast<std::uint32_t>(c);
+      // A partition with split-off children of its own is not a leaf.
+      if (giga_depth_of(g->bitmap, cp, ctx_.dirfrag.max_depth()) !=
+          static_cast<int>(std::bit_width(cp))) {
+        continue;
+      }
+      const std::uint32_t q = cp ^ (1u << (std::bit_width(cp) - 1));
+      const double combined = g->temps[q].get(now) + g->temps[cp].get(now);
+      if (combined >= floor * P.dirfrag_hysteresis) continue;
+      ctx_.dirfrag.merge_pair(ino, q, cp, now);
+      broadcast_dirfrag_notify(ino, /*fragmented=*/true);
+      drop_foreign_dentries(dir);
+      dirfrag_seen_gen_ = ctx_.dirfrag.generation();
+      return;
+    }
+    return;
+  }
+
+  // Fully merged back to one partition at home: unhash once cold, with
+  // the same trigger-dependent chill as the legacy path.
+  const double cooled_at = floor * (g->by_size ? P.dirfrag_hysteresis : 1.0);
+  if (ctx_.dirfrag.total_temp(ino, now) >= cooled_at) return;
+  ctx_.dirfrag.unfragment(ino);
+  broadcast_dirfrag_notify(ino, /*fragmented=*/false);
+  drop_foreign_dentries(dir);
+  dirfrag_seen_gen_ = ctx_.dirfrag.generation();
+}
+
+void MdsNode::broadcast_dirfrag_notify(InodeId dir, bool fragmented) {
+  const auto* g = ctx_.dirfrag.find(dir);
   for (MdsId peer = 0; peer < ctx_.num_mds; ++peer) {
     if (peer == id_) continue;
     auto msg = std::make_unique<DirFragNotifyMsg>();
-    msg->dir = dir->ino();
-    msg->fragmented = !fragged;
+    msg->dir = dir;
+    msg->fragmented = fragmented;
+    msg->bitmap = g != nullptr ? g->bitmap : 0;
+    msg->gen = ctx_.dirfrag.generation();
     ctx_.net.send(id_, peer, std::move(msg));
   }
-  drop_foreign_dentries(dir);
 }
 
 void MdsNode::handle_dirfrag_notify(const DirFragNotifyMsg& m) {
+  // Best-effort fast path; the generation carried on heartbeats is what
+  // guarantees a peer that missed this message still re-syncs. The
+  // seen-generation is deliberately NOT advanced here: a notify covers
+  // one directory, while the generation covers all of them, and the
+  // redundant re-drop on the next heartbeat is idempotent.
   FsNode* dir = ctx_.tree.by_ino(m.dir);
   if (dir == nullptr) return;
   drop_foreign_dentries(dir);
+}
+
+void MdsNode::dirfrag_resync(std::uint64_t peer_gen) {
+  if (peer_gen <= dirfrag_seen_gen_) return;
+  ++stats_.dirfrag_resyncs;
+  for (InodeId ino : ctx_.dirfrag.changes_since(dirfrag_seen_gen_)) {
+    FsNode* dir = ctx_.tree.by_ino(ino);
+    if (dir != nullptr) drop_foreign_dentries(dir);
+  }
+  dirfrag_seen_gen_ = ctx_.dirfrag.generation();
+}
+
+void MdsNode::send_giga_redirect(const ClientRequestMsg& m, InodeId dir) {
+  const auto* g = ctx_.dirfrag.find(dir);
+  if (g == nullptr) return;
+  auto msg = std::make_unique<GigaRedirectMsg>();
+  msg->dir = dir;
+  msg->bitmap = g->bitmap;
+  msg->home = g->home;
+  ++stats_.giga_redirects_sent;
+  ctx_.net.send(id_, m.client_addr, std::move(msg));
 }
 
 }  // namespace mdsim

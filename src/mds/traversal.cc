@@ -57,8 +57,16 @@ std::uint32_t MdsNode::fetch_cost_nodes(FsNode* node) {
   FsNode* dir = node->parent() != nullptr ? node->parent() : node;
   const std::uint32_t full = ctx_.store.full_fetch_nodes(dir);
   if (ctx_.traits.dynamic_dirfrag && ctx_.dirfrag.is_fragmented(dir->ino())) {
-    // A fragmented directory is split into per-node fragment objects;
-    // each node only reads its own shard.
+    // A fragmented directory is split into fragment objects; each node
+    // only reads its own shard. GIGA+ entries know the exact per-node
+    // dentry share (round-robin partitions of unequal sizes); legacy
+    // all-at-once hashing stays the even 1/num_mds split it always was.
+    const auto* g = ctx_.dirfrag.find(dir->ino());
+    if (g != nullptr && g->giga) {
+      const double share = ctx_.dirfrag.shard_fraction(dir->ino(), id_);
+      return std::max<std::uint32_t>(
+          1, static_cast<std::uint32_t>(static_cast<double>(full) * share));
+    }
     return std::max<std::uint32_t>(
         1, full / static_cast<std::uint32_t>(ctx_.num_mds));
   }

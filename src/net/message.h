@@ -97,6 +97,7 @@ enum class MsgType : std::uint8_t {
   kAttrFlush,     // replica ships accumulated deltas to the authority
   kAttrCallback,  // authority demands an immediate flush (client read)
   kMigrateAbort,  // exporter cancels an unacked migration (timeout)
+  kGigaRedirect,  // bitmap correction for a mis-routed dentry op
 };
 
 constexpr const char* msg_name(MsgType t) {
@@ -119,11 +120,12 @@ constexpr const char* msg_name(MsgType t) {
     case MsgType::kAttrFlush: return "attr_flush";
     case MsgType::kAttrCallback: return "attr_callback";
     case MsgType::kMigrateAbort: return "migrate_abort";
+    case MsgType::kGigaRedirect: return "giga_redirect";
   }
   return "?";
 }
 
-constexpr int kNumMsgTypes = 18;
+constexpr int kNumMsgTypes = 19;
 
 struct Message;
 using MessagePtr = std::unique_ptr<Message>;

@@ -125,7 +125,7 @@ RunOutcome run_world(bool cohort, const ClientRetryParams& rp,
   fs.nodes_per_user = 60;
   generate_namespace(tree, fs);
   auto partition = make_partitioner(StrategyKind::kDynamicSubtree, 1, tree);
-  DirFragRegistry dirfrag(1);
+  DirFragRegistry dirfrag(1, 6);
   FixedWorkload workload;
   workload.target = tree.files().front();
 
