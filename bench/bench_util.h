@@ -53,6 +53,22 @@ inline void apply_overload_noop(SimConfig* cfg) {
 /// directory ever splits.
 inline void apply_giga_off(SimConfig* cfg) { cfg->mds.giga_enabled = false; }
 
+/// --gray-noop: enable the gray-failure layer armed so it can never act
+/// — health scoring with thresholds no score can cross (so no node is
+/// ever flagged and the balancer is never biased) and hedging with a
+/// warmup no op class can finish (so no hedge ever fires and no extra
+/// RNG is drawn). The run must be byte-identical to one with the layer
+/// disabled — CI diffs the fig CSVs to prove detection + hedging are
+/// zero-cost on healthy paths.
+inline void apply_gray_noop(SimConfig* cfg) {
+  HealthParams& h = cfg->mds.health;
+  h.enabled = true;
+  h.degraded_factor = 1e300;  // finite: inf * a zero median would be NaN
+  h.min_lag = std::numeric_limits<SimTime>::max();
+  cfg->hedge.enabled = true;
+  cfg->hedge.min_samples = std::numeric_limits<std::uint32_t>::max();
+}
+
 /// All five strategies in the paper's legend order.
 inline const std::vector<StrategyKind>& all_strategies() {
   static const std::vector<StrategyKind> kAll = {

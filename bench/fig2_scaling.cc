@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   int threads = 1;
   bool overload_noop = false;
   bool giga_off = false;
+  bool gray_noop = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
@@ -34,6 +35,8 @@ int main(int argc, char** argv) {
       overload_noop = true;  // gate enabled, limits unreachable: must match
     } else if (arg == "--giga-off") {
       giga_off = true;  // all-at-once hashing: must match when nothing splits
+    } else if (arg == "--gray-noop") {
+      gray_noop = true;  // health+hedging armed but inert: must match
     }
   }
   // --shards=1 (the default) is the classic single-engine path and
@@ -55,6 +58,7 @@ int main(int argc, char** argv) {
       config.threads = threads;
       if (overload_noop) apply_overload_noop(&config);
       if (giga_off) apply_giga_off(&config);
+      if (gray_noop) apply_gray_noop(&config);
       const RunResult r = run_one(config);
       csv.field(strategy_name(k))
           .field(std::int64_t{n})

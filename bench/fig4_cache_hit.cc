@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   std::vector<double> fractions{0.05, 0.10, 0.20, 0.35, 0.60};
   bool overload_noop = false;
   bool giga_off = false;
+  bool gray_noop = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
@@ -25,6 +26,8 @@ int main(int argc, char** argv) {
       overload_noop = true;  // gate enabled, limits unreachable: must match
     } else if (arg == "--giga-off") {
       giga_off = true;  // all-at-once hashing: must match when nothing splits
+    } else if (arg == "--gray-noop") {
+      gray_noop = true;  // health+hedging armed but inert: must match
     }
   }
 
@@ -40,6 +43,7 @@ int main(int argc, char** argv) {
       SimConfig config = cache_sweep_config(k, frac);
       if (overload_noop) apply_overload_noop(&config);
       if (giga_off) apply_giga_off(&config);
+      if (gray_noop) apply_gray_noop(&config);
       const RunResult r = run_one(config);
       csv.field(strategy_name(k))
           .field(frac)

@@ -10,7 +10,7 @@ using namespace mdsim::bench;
 namespace {
 
 void run_strategy(StrategyKind k, CsvWriter& csv, bool quick,
-                  bool overload_noop, bool giga_off) {
+                  bool overload_noop, bool giga_off, bool gray_noop) {
   SimConfig cfg = shift_config(k);
   if (quick) {
     cfg.num_mds = 6;
@@ -21,6 +21,7 @@ void run_strategy(StrategyKind k, CsvWriter& csv, bool quick,
   }
   if (overload_noop) apply_overload_noop(&cfg);
   if (giga_off) apply_giga_off(&cfg);
+  if (gray_noop) apply_gray_noop(&cfg);
   ClusterSim cluster(cfg);
   cluster.run();
 
@@ -52,19 +53,21 @@ int main(int argc, char** argv) {
   bool quick = false;
   bool overload_noop = false;
   bool giga_off = false;
+  bool gray_noop = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") quick = true;
     if (arg == "--overload-noop") overload_noop = true;
     if (arg == "--giga-off") giga_off = true;
+    if (arg == "--gray-noop") gray_noop = true;
   }
 
   CsvWriter csv(csv_path("fig6_forwarding"));
   csv.header({"strategy", "time_s", "forward_fraction"});
   run_strategy(StrategyKind::kDynamicSubtree, csv, quick, overload_noop,
-               giga_off);
+               giga_off, gray_noop);
   run_strategy(StrategyKind::kStaticSubtree, csv, quick, overload_noop,
-               giga_off);
+               giga_off, gray_noop);
   std::cout << "\nExpected shape: both spike when clients move into "
                "unexplored territory; the static fraction decays back to "
                "its discovery baseline, while the dynamic one stays higher "

@@ -120,6 +120,7 @@ void Client::issue(const Operation& op) {
   inflight_op_ = op;
   issued_at_ = sim_.now();
   ++stats_.ops_issued;
+  hedge_outstanding_ = false;
 
   // Retries distrust cached knowledge: a silent node may be down or the
   // partition may have moved on, so spray somewhere random and re-learn.
@@ -131,49 +132,95 @@ void Client::issue(const Operation& op) {
         rng_.uniform(static_cast<std::uint64_t>(num_mds_)));
   }
   assert(mds >= 0 && mds < num_mds_);
+  primary_mds_ = mds;
   net_.send(addr_, mds, std::move(msg));
 
+  // Hedge trigger: a warmed-up read-only first attempt arms the hedge
+  // timer at the op class's ~p99 delay instead of the request timeout;
+  // everything else takes the ordinary timeout branch unchanged.
+  SimTime hedge_delay = 0;
+  if (hedge_.enabled && num_mds_ > 1 && hedge_eligible(op.op, attempts_)) {
+    hedge_delay = hedge_est_.delay(op.op, hedge_, retry_.request_timeout);
+  }
   timeout_.cancel();
-  timeout_ = sim_.schedule(retry_.request_timeout, [this]() {
-    if (inflight_req_ == 0) return;  // raced with the reply
-    ++stats_.retries;
-    ++attempts_;
+  hedge_timer_.cancel();
+  if (hedge_delay > 0) {
+    hedge_timer_ = sim_.schedule(hedge_delay, [this]() { on_hedge_fire(); });
+  } else {
+    timeout_ = sim_.schedule(retry_.request_timeout,
+                             [this]() { on_request_timeout(); });
+  }
+}
+
+void Client::on_hedge_fire() {
+  if (inflight_req_ == 0) return;  // raced with the reply
+  ++stats_.hedges_fired;
+  hedge_outstanding_ = true;
+  // One backup copy, same req_id: whichever reply loses the race fails
+  // the req_id match below and is discarded as stale. No trace pointer —
+  // two in-flight copies must not share one attribution record.
+  auto msg = std::make_unique<ClientRequestMsg>();
+  msg->req_id = inflight_req_;
+  msg->client = id_;
+  msg->client_addr = addr_;
+  msg->op = inflight_op_.op;
+  msg->uid = uid_;
+  msg->target = inflight_op_.target->ino();
+  msg->secondary = inflight_op_.secondary != nullptr
+                       ? inflight_op_.secondary->ino()
+                       : kInvalidInode;
+  msg->name = inflight_op_.name;
+  msg->attempt = 0;
+  msg->deadline = issued_at_ + retry_.request_timeout;
+  msg->hedge = 1;
+  const MdsId backup = hedge_pick_backup(primary_mds_, num_mds_, rng_);
+  assert(backup >= 0 && backup < num_mds_ && backup != primary_mds_);
+  net_.send(addr_, backup, std::move(msg));
+  // The retry clock keeps its original deadline: arm the ordinary
+  // timeout for the remainder of the window.
+  timeout_ = sim_.schedule(issued_at_ + retry_.request_timeout - sim_.now(),
+                           [this]() { on_request_timeout(); });
+}
+
+void Client::on_request_timeout() {
+  if (inflight_req_ == 0) return;  // raced with the reply
+  ++stats_.retries;
+  ++attempts_;
+  if (!tree_.alive(inflight_op_.target)) {
+    // Target vanished while we were waiting: give up on this op.
+    inflight_req_ = 0;
+    attempts_ = 0;
+    ++stats_.ops_failed;
+    schedule_next();
+    return;
+  }
+  // Retry budget: retries are throttled to a fraction of successes.
+  // A dry budget means the cluster is rejecting/timing out far faster
+  // than it serves — fail fast instead of feeding the storm.
+  if (!budget_.try_spend(retry_.budget)) {
+    ++stats_.retries_suppressed;
+    inflight_req_ = 0;
+    attempts_ = 0;
+    ++stats_.ops_failed;
+    schedule_next();
+    return;
+  }
+  // Exponential backoff with jitter: the whole herd stranded by a dead
+  // node times out together; spreading the re-issues over [d/2, d)
+  // keeps the survivors (and the node when it returns) from absorbing
+  // one synchronized stampede per timeout period.
+  const SimTime delay = retry_backoff_delay(retry_, attempts_, rng_);
+  retry_timer_.cancel();
+  retry_timer_ = sim_.schedule(delay, [this]() {
+    if (inflight_req_ == 0) return;
     if (!tree_.alive(inflight_op_.target)) {
-      // Target vanished while we were waiting: give up on this op.
       inflight_req_ = 0;
       attempts_ = 0;
       ++stats_.ops_failed;
       schedule_next();
       return;
     }
-    // Retry budget: retries are throttled to a fraction of successes.
-    // A dry budget means the cluster is rejecting/timing out far faster
-    // than it serves — fail fast instead of feeding the storm.
-    if (!budget_.try_spend(retry_.budget)) {
-      ++stats_.retries_suppressed;
-      inflight_req_ = 0;
-      attempts_ = 0;
-      ++stats_.ops_failed;
-      schedule_next();
-      return;
-    }
-    // Exponential backoff with jitter: the whole herd stranded by a dead
-    // node times out together; spreading the re-issues over [d/2, d)
-    // keeps the survivors (and the node when it returns) from absorbing
-    // one synchronized stampede per timeout period.
-    const SimTime delay = retry_backoff_delay(retry_, attempts_, rng_);
-    retry_timer_.cancel();
-    retry_timer_ = sim_.schedule(delay, [this]() {
-      if (inflight_req_ == 0) return;
-      if (!tree_.alive(inflight_op_.target)) {
-        inflight_req_ = 0;
-        attempts_ = 0;
-        ++stats_.ops_failed;
-        schedule_next();
-        return;
-      }
-      issue(inflight_op_);
-    });
+    issue(inflight_op_);
   });
 }
 
@@ -204,6 +251,8 @@ void Client::on_message(NetAddr from, MessagePtr msg) {
     ++stats_.rejected_replies;
     ++attempts_;
     timeout_.cancel();
+    hedge_timer_.cancel();
+    hedge_outstanding_ = false;
     if (!tree_.alive(inflight_op_.target)) {
       inflight_req_ = 0;
       attempts_ = 0;
@@ -239,11 +288,28 @@ void Client::on_message(NetAddr from, MessagePtr msg) {
   attempts_ = 0;
   timeout_.cancel();
   retry_timer_.cancel();
+  hedge_timer_.cancel();
+  if (hedge_outstanding_) {
+    // Two copies were racing; the `hedge` echo on the reply says which
+    // one settled the op. The loser's reply (if it ever arrives) fails
+    // the req_id match above and lands in stale_replies.
+    if (reply.hedge != 0) {
+      ++stats_.hedge_wins;
+    } else {
+      ++stats_.wasted_hedges;
+    }
+    hedge_outstanding_ = false;
+  }
 
   ++stats_.ops_completed;
   if (reply.success) {
     ++stats_.ops_ok;
     budget_.earn(retry_.budget);
+    // Feed the tail estimator (integer-only, no RNG; a pure no-op for
+    // the hedge decision until the class reaches min_samples).
+    if (hedge_.enabled) {
+      hedge_est_.observe(inflight_op_.op, sim_.now() - issued_at_);
+    }
   } else {
     ++stats_.ops_failed;
   }

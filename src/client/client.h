@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "client/hedge_policy.h"
 #include "client/location_cache.h"
 #include "client/retry_policy.h"
 #include "common/rng.h"
@@ -37,6 +38,9 @@ struct ClientStats {
   std::uint64_t rejected_replies = 0;   // overload Rejected{retry_after}
   std::uint64_t retries_suppressed = 0; // retry budget dry: failed fast
   std::uint64_t giga_redirects = 0;     // stale-bitmap corrections received
+  std::uint64_t hedges_fired = 0;       // backup requests sent
+  std::uint64_t hedge_wins = 0;         // ops settled by the backup copy
+  std::uint64_t wasted_hedges = 0;      // primary won after a hedge fired
   Summary latency_seconds;
 };
 
@@ -72,6 +76,19 @@ class Client final : public NetEndpoint {
   }
   const ClientRetryParams& retry_policy() const { return retry_; }
 
+  /// Hedged reads (hedge_policy.h): once an op class's tail estimator is
+  /// warm, a read-only first attempt that has not been answered after the
+  /// class's ~p99 delay fires one backup copy (same req_id) at a
+  /// different node; first reply wins, the loser is discarded as stale.
+  /// Off by default: the issue path arms the ordinary timeout and draws
+  /// no randomness.
+  void set_hedge_policy(const HedgeParams& p) { hedge_ = p; }
+  const HedgeParams& hedge_policy() const { return hedge_; }
+  /// Estimator peek (tests): current tail estimate for an op class.
+  SimTime hedge_estimate(OpType op) const {
+    return hedge_est_.q[static_cast<std::size_t>(op)];
+  }
+
   /// Enable per-request tracing: each issued op carries a pointer to this
   /// client's TraceRecord (closed-loop clients have exactly one op in
   /// flight, so one reusable record suffices) and completed ops are
@@ -82,6 +99,8 @@ class Client final : public NetEndpoint {
   void schedule_next();
   void issue(const Operation& op);
   MdsId pick_mds(const Operation& op);
+  void on_request_timeout();
+  void on_hedge_fire();
 
   Simulation& sim_;
   Network& net_;
@@ -113,6 +132,16 @@ class Client final : public NetEndpoint {
   int attempts_ = 0;
   EventHandle timeout_;
   EventHandle retry_timer_;
+
+  // Hedged reads. When a hedge is armed, hedge_timer_ holds the trigger
+  // and the ordinary timeout_ is armed only after the hedge fires (for
+  // the remainder of the request_timeout window) — at most one of the two
+  // is pending at any instant.
+  HedgeParams hedge_;
+  HedgeEstimator hedge_est_;
+  EventHandle hedge_timer_;
+  bool hedge_outstanding_ = false;  // a backup copy is in flight
+  MdsId primary_mds_ = 0;           // where attempt 0 went (backup avoids it)
 };
 
 }  // namespace mdsim

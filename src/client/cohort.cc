@@ -99,6 +99,9 @@ void ClientCohort::on_timer(std::uint32_t idx, std::uint32_t stamp) {
     case kRetry:
       on_retry(idx);
       break;
+    case kHedge:
+      on_hedge(idx);
+      break;
     default:
       assert(false);
   }
@@ -194,6 +197,7 @@ void ClientCohort::issue(std::uint32_t idx) {
   msg->deadline = sim_.now() + retry_.request_timeout;
   inflight_[idx] = msg->req_id;
   issued_at_[idx] = sim_.now();
+  if (!hedge_out_.empty()) hedge_out_[idx] = 0;
   // Wheel-scope counter: every issue happens inside a bucket service
   // (think or retry fire), so the bucket-end hook folds it into stats_.
   ++pending_stats_.issued;
@@ -237,9 +241,50 @@ void ClientCohort::issue(std::uint32_t idx) {
             : static_cast<MdsId>(
                   rngs_[idx].uniform(static_cast<std::uint64_t>(num_mds_)));
     assert(mds >= 0 && mds < num_mds_);
+    if (!primary_.empty()) primary_[idx] = mds;
     net_.send(addr(static_cast<int>(idx)), mds, std::move(msg));
+    // Hedge trigger, mirroring Client::issue: a warmed-up read-only first
+    // attempt arms the kHedge timer at the op class's ~p99 delay instead
+    // of the timeout. Remote turns never hedge (the backup pick is over
+    // *this* shard's nodes; the remote target is another shard's).
+    if (hedge_.enabled && num_mds_ > 1 && hedge_eligible(op.op, attempts_[idx])) {
+      const SimTime hd = hedge_ests_[idx].delay(op.op, hedge_,
+                                                retry_.request_timeout);
+      if (hd > 0) {
+        arm(idx, kHedge, sim_.now() + hd);
+        return;
+      }
+    }
   }
   arm(idx, kTimeout, sim_.now() + retry_.request_timeout);
+}
+
+void ClientCohort::on_hedge(std::uint32_t idx) {
+  if (inflight_[idx] == 0) return;  // raced with the reply
+  ++pending_stats_.hedged;
+  hedge_out_[idx] = 1;
+  // One backup copy, same req_id, as in Client::on_hedge_fire: the losing
+  // reply fails the req_id match and is discarded as stale. Never traced
+  // (two in-flight copies must not share one attribution record).
+  const Operation& op = pending_[idx];
+  auto msg = std::make_unique<ClientRequestMsg>();
+  msg->req_id = inflight_[idx];
+  msg->client = client_id(static_cast<int>(idx));
+  msg->client_addr = addr(static_cast<int>(idx));
+  msg->op = op.op;
+  msg->uid = uids_[idx];
+  msg->target = op.target->ino();
+  msg->secondary = op.secondary != nullptr ? op.secondary->ino()
+                                           : kInvalidInode;
+  msg->name = op.name;
+  msg->attempt = 0;
+  msg->deadline = issued_at_[idx] + retry_.request_timeout;
+  msg->hedge = 1;
+  const MdsId backup = hedge_pick_backup(primary_[idx], num_mds_, rngs_[idx]);
+  assert(backup >= 0 && backup < num_mds_ && backup != primary_[idx]);
+  net_.send(addr(static_cast<int>(idx)), backup, std::move(msg));
+  // The retry clock keeps its original deadline.
+  arm(idx, kTimeout, issued_at_[idx] + retry_.request_timeout);
 }
 
 void ClientCohort::give_up(std::uint32_t idx) {
@@ -299,6 +344,7 @@ void ClientCohort::on_reply(std::uint32_t idx, NetAddr from, MessagePtr msg) {
     // directly, never through the wheel-scope pending counters.
     ++stats_.rejected_replies;
     ++attempts_[idx];
+    if (!hedge_out_.empty()) hedge_out_[idx] = 0;
     if (remote_[idx] == 0 && !tree_.alive(pending_[idx].target)) {
       inflight_[idx] = 0;
       attempts_[idx] = 0;
@@ -325,11 +371,27 @@ void ClientCohort::on_reply(std::uint32_t idx, NetAddr from, MessagePtr msg) {
   attempts_[idx] = 0;
   // No timer cancellation needed: schedule_next below supersedes the
   // pending timeout's stamp (via arm or disarm).
+  if (!hedge_out_.empty() && hedge_out_[idx] != 0) {
+    // Two copies were racing; the `hedge` echo says which one settled the
+    // op (the loser lands in stale_replies). Reply-path context: stats_
+    // directly, as with the other reply counters.
+    if (reply.hedge != 0) {
+      ++stats_.hedge_wins;
+    } else {
+      ++stats_.wasted_hedges;
+    }
+    hedge_out_[idx] = 0;
+  }
 
   ++stats_.ops_completed;
   if (reply.success) {
     ++stats_.ops_ok;
     budgets_[idx].earn(retry_.budget);
+    // Feed the tail estimator, as in Client (local turns only: a remote
+    // turn's latency describes another shard's cluster).
+    if (hedge_.enabled && remote_[idx] == 0) {
+      hedge_ests_[idx].observe(pending_[idx].op, sim_.now() - issued_at_[idx]);
+    }
   } else {
     ++stats_.ops_failed;
   }

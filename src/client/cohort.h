@@ -73,6 +73,27 @@ class ClientCohort {
     for (RetryBudget& b : budgets_) b.init(p.budget);
   }
   const ClientRetryParams& retry_policy() const { return retry_; }
+
+  /// Hedged reads for every client in the cohort; mirrors
+  /// Client::set_hedge_policy (same estimator, same trigger, same single
+  /// backup-pick draw). Per-client hedge arrays are allocated only when
+  /// the policy is enabled — disabled cohorts carry no extra state.
+  void set_hedge_policy(const HedgeParams& p) {
+    hedge_ = p;
+    if (hedge_.enabled) {
+      hedge_ests_.resize(ports_.size());
+      hedge_out_.assign(ports_.size(), 0);
+      primary_.assign(ports_.size(), 0);
+    }
+  }
+  const HedgeParams& hedge_policy() const { return hedge_; }
+  /// Estimator peek (tests): client idx's tail estimate for an op class.
+  SimTime hedge_estimate(int idx, OpType op) const {
+    return hedge_ests_.empty()
+               ? 0
+               : hedge_ests_[static_cast<std::size_t>(idx)]
+                     .q[static_cast<std::size_t>(op)];
+  }
   void set_tracer(TraceCollector* tracer);
 
   /// Install cross-shard targets; each think-turn goes remote with
@@ -87,7 +108,7 @@ class ClientCohort {
 
  private:
   /// Timer kinds, encoded in the low bits of the wheel stamp.
-  enum Kind : std::uint32_t { kThink = 0, kTimeout = 1, kRetry = 2 };
+  enum Kind : std::uint32_t { kThink = 0, kTimeout = 1, kRetry = 2, kHedge = 3 };
 
   struct Port final : NetEndpoint {
     ClientCohort* cohort = nullptr;
@@ -105,6 +126,7 @@ class ClientCohort {
   void issue(std::uint32_t idx);
   void on_timeout(std::uint32_t idx);
   void on_retry(std::uint32_t idx);
+  void on_hedge(std::uint32_t idx);
   void give_up(std::uint32_t idx);
   MdsId pick_mds(std::uint32_t idx, const Operation& op);
   /// Arm this client's one live timer (superseding any previous one).
@@ -142,6 +164,12 @@ class ClientCohort {
   std::vector<LocationCache> locs_;
   std::vector<TraceRecord> trace_recs_;  // sized when a tracer is set
 
+  // Hedged reads (arrays sized only when hedge_.enabled).
+  HedgeParams hedge_;
+  std::vector<HedgeEstimator> hedge_ests_;
+  std::vector<std::uint8_t> hedge_out_;  // a backup copy is in flight
+  std::vector<MdsId> primary_;           // where attempt 0 went
+
   std::vector<RemoteTarget> catalog_;
   double remote_fraction_ = 0.0;
   std::uint64_t remote_issued_ = 0;
@@ -156,6 +184,7 @@ class ClientCohort {
     std::uint32_t retries = 0;
     std::uint32_t failed = 0;
     std::uint32_t suppressed = 0;  // budget-denied timeout retries
+    std::uint32_t hedged = 0;      // backup requests sent (hedge fires)
   };
   PendingTurnStats pending_stats_;
   void flush_turn_stats() {
@@ -163,6 +192,7 @@ class ClientCohort {
     stats_.retries += pending_stats_.retries;
     stats_.ops_failed += pending_stats_.failed;
     stats_.retries_suppressed += pending_stats_.suppressed;
+    stats_.hedges_fired += pending_stats_.hedged;
     pending_stats_ = PendingTurnStats{};
   }
 };

@@ -61,6 +61,33 @@ struct OverloadIncident {
   bool open = true;
 };
 
+/// A peer observed to be gray-degraded: its health score (EWMA of
+/// heartbeat lag + self-reported service lag) crossed the degraded
+/// threshold at some MDS. Distinct from FaultIncident (the node is alive
+/// and heartbeating) and from the *injection* record below: this is what
+/// the detector saw, that is what was actually done to the node.
+struct GrayIncident {
+  static constexpr SimTime kUnset = FaultIncident::kUnset;
+
+  MdsId node = kInvalidMds;
+  SimTime degraded_at = kUnset;
+  SimTime recovered_at = kUnset;
+  MdsId detected_by = kInvalidMds;  // first detector
+  bool open = true;
+};
+
+/// Injection ground truth: the window in which a fail-slow fault was
+/// actually installed on a node (ClusterSim::set_fail_slow). Benches
+/// compare detected GrayIncidents against these.
+struct FailSlowIncident {
+  static constexpr SimTime kUnset = FaultIncident::kUnset;
+
+  MdsId node = kInvalidMds;
+  SimTime began_at = kUnset;
+  SimTime cleared_at = kUnset;
+  bool open = true;
+};
+
 class FaultLog {
  public:
   void note_crash(MdsId node, SimTime now) {
@@ -139,10 +166,60 @@ class FaultLog {
     ++inc->sheds;
   }
 
+  /// First detector to see `node` cross the degraded threshold opens the
+  /// incident; later detectors are no-ops while it stays open.
+  void note_gray_degraded(MdsId node, MdsId by, SimTime now) {
+    if (open_gray(node) != nullptr) return;
+    GrayIncident g;
+    g.node = node;
+    g.degraded_at = now;
+    g.detected_by = by;
+    grays_.push_back(g);
+  }
+
+  void note_gray_recovered(MdsId node, SimTime now) {
+    GrayIncident* g = open_gray(node);
+    if (g == nullptr) return;
+    g->recovered_at = now;
+    g->open = false;
+  }
+
+  /// Injection bookkeeping (ClusterSim::set_fail_slow).
+  void note_fail_slow(MdsId node, SimTime now) {
+    if (open_fail_slow(node) != nullptr) return;
+    FailSlowIncident f;
+    f.node = node;
+    f.began_at = now;
+    fail_slows_.push_back(f);
+  }
+
+  void note_fail_slow_cleared(MdsId node, SimTime now) {
+    FailSlowIncident* f = open_fail_slow(node);
+    if (f == nullptr) return;
+    f->cleared_at = now;
+    f->open = false;
+  }
+
   const std::vector<FaultIncident>& incidents() const { return incidents_; }
   const std::vector<FenceIncident>& fence_incidents() const { return fences_; }
   const std::vector<OverloadIncident>& overload_incidents() const {
     return overloads_;
+  }
+  const std::vector<GrayIncident>& gray_incidents() const { return grays_; }
+  const std::vector<FailSlowIncident>& fail_slow_incidents() const {
+    return fail_slows_;
+  }
+
+  /// Total seconds peers were flagged gray-degraded, right-censoring
+  /// incidents still open at `asof`.
+  double gray_degraded_seconds(SimTime asof) const {
+    double total = 0.0;
+    for (const GrayIncident& g : grays_) {
+      const SimTime end = g.open ? asof : g.recovered_at;
+      if (end == GrayIncident::kUnset || end < g.degraded_at) continue;
+      total += to_seconds(end - g.degraded_at);
+    }
+    return total;
   }
 
   /// Crash -> first survivor detection. `asof` (usually the run end)
@@ -226,6 +303,20 @@ class FaultLog {
     return nullptr;
   }
 
+  GrayIncident* open_gray(MdsId node) {
+    for (auto it = grays_.rbegin(); it != grays_.rend(); ++it) {
+      if (it->node == node && it->open) return &*it;
+    }
+    return nullptr;
+  }
+
+  FailSlowIncident* open_fail_slow(MdsId node) {
+    for (auto it = fail_slows_.rbegin(); it != fail_slows_.rend(); ++it) {
+      if (it->node == node && it->open) return &*it;
+    }
+    return nullptr;
+  }
+
   template <typename End, typename Begin>
   Summary span(End end, Begin begin, SimTime asof) const {
     Summary s;
@@ -249,6 +340,8 @@ class FaultLog {
   std::vector<FaultIncident> incidents_;
   std::vector<FenceIncident> fences_;
   std::vector<OverloadIncident> overloads_;
+  std::vector<GrayIncident> grays_;
+  std::vector<FailSlowIncident> fail_slows_;
 };
 
 }  // namespace mdsim

@@ -122,6 +122,7 @@ void ClusterSim::build() {
           100 + static_cast<std::uint32_t>(c % config_.fs.num_users));
     }
     clients_.back()->set_retry_policy(config_.client_retry);
+    clients_.back()->set_hedge_policy(config_.hedge);
     clients_.back()->set_tracer(tracer_.get());
   }
 
@@ -220,6 +221,17 @@ void ClusterSim::fail_mds(MdsId failed, bool warm_takeover) {
     for (MdsId heir : takeover_nodes) {
       mds(heir).warm_from_journal(working_set);
     }
+  }
+}
+
+void ClusterSim::set_fail_slow(MdsId node, double cpu_mult, double disk_mult) {
+  build();
+  assert(node >= 0 && node < config_.num_mds);
+  mds(node).set_fail_slow(cpu_mult, disk_mult);
+  if (cpu_mult != 1.0 || disk_mult != 1.0) {
+    fault_log_.note_fail_slow(node, sim_.now());
+  } else {
+    fault_log_.note_fail_slow_cleared(node, sim_.now());
   }
 }
 

@@ -43,6 +43,12 @@ class ClusterSim {
   /// balancer re-populates it with load over time.
   void recover_mds(MdsId node);
 
+  /// Gray-failure injection: `node`'s CPU serves every subsequent job
+  /// `cpu_mult` times slower and its disks `disk_mult` times slower
+  /// (1.0/1.0 restores nominal speed). The node stays up and heartbeating
+  /// — detection is the health layer's job, not the fault's.
+  void set_fail_slow(MdsId node, double cpu_mult, double disk_mult);
+
   /// Failure-lifecycle incident log (crash / detection / takeover /
   /// restart / rejoin timestamps for every injected fault).
   FaultLog& fault_log() { return fault_log_; }

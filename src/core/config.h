@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <string>
 
+#include "client/hedge_policy.h"
 #include "client/retry_policy.h"
 #include "fstree/generator.h"
 #include "mds/params.h"
@@ -66,6 +67,12 @@ struct SimConfig {
   /// capped — spreads the retry herd a dead node strands so recovery
   /// isn't met with a stampede), and the retry budget (off by default).
   ClientRetryParams client_retry;
+
+  /// Hedged reads (src/client/hedge_policy.h): after an adaptive
+  /// per-op-class ~p99 delay, read-only first attempts fire one backup
+  /// request to a different node; first reply wins, the loser is
+  /// discarded by req-id matching. Off by default (zero-cost-off).
+  HedgeParams hedge;
 
   /// Parallel simulation (core/sharded_cluster.h). shards == 1 is the
   /// classic single-engine ClusterSim path, bit-for-bit unchanged; with

@@ -41,13 +41,36 @@ class FaultPlan {
   /// asymmetric or flapping connectivity.
   FaultPlan& cut_link(SimTime from, SimTime until, NetAddr src, NetAddr dst);
 
+  /// Gray failure: from `from` until `until` (`until <= from` = for the
+  /// rest of the run), `node`'s CPU serves every job `cpu_mult` times
+  /// slower and its disks `disk_mult` times slower. Heartbeats keep
+  /// flowing — the node is degraded, not dead.
+  FaultPlan& fail_slow(SimTime from, SimTime until, MdsId node,
+                       double cpu_mult, double disk_mult);
+
+  /// Gray failure: sustained latency inflation + loss on the a<->b link
+  /// from `from` until `until` (distinct from flaky_link's transient
+  /// per-message spikes).
+  FaultPlan& degrade_link(SimTime from, SimTime until, NetAddr a, NetAddr b,
+                          const LinkDegrade& degrade);
+
+  /// Chaos-schedule generator: compose crash/restart, partition, flaky,
+  /// fail-slow and lossy-degrade windows from one seeded stream. The same
+  /// (seed, num_mds, duration) always yields the same plan, so randomized
+  /// chaos sweeps are exactly as reproducible as hand-written ones. All
+  /// windows open after `duration/5` (past typical warmup) and close by
+  /// `4*duration/5`, leaving the tail to drain and recover.
+  static FaultPlan randomize(std::uint64_t seed, int num_mds,
+                             SimTime duration);
+
   /// Schedule every scripted action on the cluster's simulation clock.
   /// The cluster must outlive the run; call once.
   void arm(ClusterSim& cluster) const;
 
   bool empty() const {
     return crashes_.empty() && restarts_.empty() && links_.empty() &&
-           partitions_.empty() && cuts_.empty();
+           partitions_.empty() && cuts_.empty() && fail_slows_.empty() &&
+           degrades_.empty();
   }
 
  private:
@@ -79,12 +102,28 @@ class FaultPlan {
     NetAddr src;
     NetAddr dst;
   };
+  struct FailSlowAction {
+    SimTime from;
+    SimTime until;
+    MdsId node;
+    double cpu_mult;
+    double disk_mult;
+  };
+  struct DegradeAction {
+    SimTime from;
+    SimTime until;
+    NetAddr a;
+    NetAddr b;
+    LinkDegrade degrade;
+  };
 
   std::vector<CrashAction> crashes_;
   std::vector<RestartAction> restarts_;
   std::vector<LinkAction> links_;
   std::vector<PartitionAction> partitions_;
   std::vector<CutAction> cuts_;
+  std::vector<FailSlowAction> fail_slows_;
+  std::vector<DegradeAction> degrades_;
 };
 
 }  // namespace mdsim

@@ -12,6 +12,7 @@ Metrics::Metrics(std::vector<MdsNode*> nodes, std::vector<Client*> clients,
                  const Simulation* sim)
     : nodes_(std::move(nodes)), clients_(std::move(clients)), sim_(sim) {
   mds_tput_.resize(nodes_.size());
+  mds_health_.resize(nodes_.size());
   base_replies_.assign(nodes_.size(), 0);
   base_forwards_.assign(nodes_.size(), 0);
   base_requests_.assign(nodes_.size(), 0);
@@ -44,6 +45,7 @@ void Metrics::sample(SimTime now) {
     shed_sum += s.shed_rate.sample(now);
     s.miss_rate.sample(now);  // keep the window aligned
     mds_tput_[i].record(now, tput);
+    mds_health_[i].record(now, nodes_[i]->self_health_lag() * 1e-9);
     sum += tput;
     mn = std::min(mn, tput);
     mx = std::max(mx, tput);
@@ -58,6 +60,15 @@ void Metrics::sample(SimTime now) {
   forward_rate_.record(now, fwd_sum);
   fwd_fraction_.record(now, req_sum > 0 ? fwd_sum / req_sum : 0.0);
   shed_rate_.record(now, shed_sum);
+  // Gray-degraded census from the incident log (first-detector truth, not
+  // any single node's view). Zero whenever health scoring is off.
+  double degraded = 0.0;
+  if (faults_ != nullptr) {
+    for (const GrayIncident& g : faults_->gray_incidents()) {
+      if (g.open) degraded += 1.0;
+    }
+  }
+  degraded_nodes_.record(now, degraded);
 }
 
 void Metrics::reset(SimTime now) {
@@ -146,6 +157,24 @@ Summary Metrics::client_latency() const {
   Summary s;
   for (Client* c : clients_) s.merge(c->stats().latency_seconds);
   return s;
+}
+
+std::uint64_t Metrics::total_hedges_fired() const {
+  std::uint64_t total = 0;
+  for (Client* c : clients_) total += c->stats().hedges_fired;
+  return total;
+}
+
+std::uint64_t Metrics::total_hedge_wins() const {
+  std::uint64_t total = 0;
+  for (Client* c : clients_) total += c->stats().hedge_wins;
+  return total;
+}
+
+std::uint64_t Metrics::total_wasted_hedges() const {
+  std::uint64_t total = 0;
+  for (Client* c : clients_) total += c->stats().wasted_hedges;
+  return total;
 }
 
 std::uint64_t Metrics::total_replies() const {

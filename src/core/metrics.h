@@ -41,6 +41,11 @@ class Metrics {
   const TimeSeries& forward_fraction() const { return fwd_fraction_; }
   /// Cluster-wide admission sheds/sec (zero with overload protection off).
   const TimeSeries& shed_rate() const { return shed_rate_; }
+  /// Per-node self-measured health lag (seconds of queued-but-unserved
+  /// work, EWMA'd; all-zero with health scoring off).
+  const std::vector<TimeSeries>& per_mds_health() const { return mds_health_; }
+  /// Nodes currently flagged gray-degraded (open GrayIncidents).
+  const TimeSeries& degraded_nodes() const { return degraded_nodes_; }
 
   // --- end-of-run aggregates ----------------------------------------------
   /// Mean per-MDS throughput since the last reset (figure 2's y-axis).
@@ -55,6 +60,11 @@ class Metrics {
   Summary client_latency() const;
   std::uint64_t total_replies() const;
   std::uint64_t total_failures() const;
+  /// Hedged-read counters summed over clients since their last reset
+  /// (all zero with hedging off).
+  std::uint64_t total_hedges_fired() const;
+  std::uint64_t total_hedge_wins() const;
+  std::uint64_t total_wasted_hedges() const;
   /// Requests shed at admission (queue bound + token bucket + deadline)
   /// and explicit rejection replies sent, since the last reset.
   std::uint64_t total_sheds() const;
@@ -109,6 +119,11 @@ class Metrics {
     return faults_ != nullptr ? faults_->overload_episode_seconds(asof())
                               : Summary{};
   }
+  /// Total node-seconds spent flagged gray-degraded (open incidents are
+  /// right-censored at now()).
+  double gray_degraded_seconds() const {
+    return faults_ != nullptr ? faults_->gray_degraded_seconds(asof()) : 0.0;
+  }
 
  private:
   /// Censoring horizon for open incidents: the current sim time, or
@@ -132,6 +147,8 @@ class Metrics {
   TimeSeries forward_rate_;
   TimeSeries fwd_fraction_;
   TimeSeries shed_rate_;
+  std::vector<TimeSeries> mds_health_;
+  TimeSeries degraded_nodes_;
 
   SimTime reset_at_ = 0;
   std::vector<std::uint64_t> base_replies_;

@@ -169,6 +169,7 @@ void ShardedClusterSim::build_shard(int s) {
                      (sh.first_client + c) % fs.num_users));
   }
   sh.cohort->set_retry_policy(config_.client_retry);
+  sh.cohort->set_hedge_policy(config_.hedge);
   sh.cohort->set_tracer(sh.tracer.get());
 
   total_mds_ += mds_count;

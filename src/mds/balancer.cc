@@ -66,6 +66,8 @@ void MdsNode::heartbeat_tick() {
   if (failed_) return;  // a dead node is silent; survivors notice
   last_load_ = compute_load();
   peer_loads_[static_cast<std::size_t>(id_)] = last_load_;
+  const bool health_on = ctx_.params.health.enabled;
+  if (health_on) health_tick(ctx_.sim.now());
   // Alive-mask: who this node currently hears. Receivers listed in it
   // count the heartbeat as a lease ack (partition safety); built once,
   // shared read-only by every per-peer message.
@@ -87,6 +89,12 @@ void MdsNode::heartbeat_tick() {
     msg->epoch = view_epoch_;
     msg->alive_mask = alive_mask;
     msg->dirfrag_gen = ctx_.dirfrag.generation();
+    if (health_on) {
+      // Health piggyback: the send timestamp (receiver derives the
+      // one-way delivery lag) and the self-measured service lag.
+      msg->sent_at = ctx_.sim.now();
+      msg->svc_lag = static_cast<SimTime>(svc_ewma_self_);
+    }
     ctx_.net.send(id_, peer, std::move(msg));
   }
   maybe_unreplicate();
@@ -123,6 +131,74 @@ void MdsNode::handle_heartbeat(const HeartbeatMsg& m) {
   // DirFragNotify (link fault, partition): catch up now.
   if (m.dirfrag_gen > dirfrag_seen_gen_) dirfrag_resync(m.dirfrag_gen);
   peer_loads_[idx] = m.load;
+  // Gray-failure scoring: fold the sender's self-reported service lag and
+  // the heartbeat's one-way delivery lag into its EWMA score. Both
+  // symptoms matter — a fail-slow disk shows up in svc_lag, a degraded
+  // link in the delivery delay — and a gray node's heartbeats still
+  // arrive, which is exactly why liveness detection alone misses it.
+  if (ctx_.params.health.enabled && m.sent_at != 0) {
+    if (peer_health_.empty()) {
+      peer_health_.assign(static_cast<std::size_t>(ctx_.num_mds), 0.0);
+      peer_degraded_.assign(static_cast<std::size_t>(ctx_.num_mds), 0);
+    }
+    const double sample =
+        static_cast<double>((ctx_.sim.now() - m.sent_at) + m.svc_lag);
+    double& score = peer_health_[idx];
+    score += ctx_.params.health.alpha * (sample - score);
+  }
+}
+
+void MdsNode::health_tick(SimTime now) {
+  const HealthParams& hp = ctx_.params.health;
+  if (peer_health_.empty()) {
+    peer_health_.assign(static_cast<std::size_t>(ctx_.num_mds), 0.0);
+    peer_degraded_.assign(static_cast<std::size_t>(ctx_.num_mds), 0);
+  }
+  // Self signal: work accepted but not yet served (CPU + store backlog,
+  // ns). A fail-slow node drains slower than it fills, so this grows with
+  // the injected multiplier even while its heartbeats look perfectly
+  // healthy.
+  const double raw =
+      static_cast<double>(cpu_.backlog() + disk_.store_backlog());
+  svc_ewma_self_ += hp.alpha * (raw - svc_ewma_self_);
+  peer_health_[static_cast<std::size_t>(id_)] = svc_ewma_self_;
+
+  // Degraded means slow *relative to the cluster*: compare each alive
+  // node's score against the alive median, with an absolute floor so an
+  // idle cluster never flags anyone, and hysteresis so a borderline node
+  // doesn't flap.
+  std::vector<double> scores;
+  scores.reserve(static_cast<std::size_t>(ctx_.num_mds));
+  for (MdsId p = 0; p < ctx_.num_mds; ++p) {
+    if (p != id_ && peer_alive_[static_cast<std::size_t>(p)] == 0) continue;
+    scores.push_back(peer_health_[static_cast<std::size_t>(p)]);
+  }
+  if (scores.size() < 3) return;  // relative detection needs a population
+  std::nth_element(scores.begin(),
+                   scores.begin() + static_cast<std::ptrdiff_t>(scores.size() / 2),
+                   scores.end());
+  const double median = scores[scores.size() / 2];
+  const double floor = static_cast<double>(hp.min_lag);
+  const double flag_at = std::max(hp.degraded_factor * median, floor);
+  const double unflag_at = std::max(hp.recovered_factor * median, floor);
+  for (MdsId p = 0; p < ctx_.num_mds; ++p) {
+    const auto i = static_cast<std::size_t>(p);
+    if (p != id_ && peer_alive_[i] == 0) {
+      // Crashed peers leave the gray regime: their last score is stale
+      // and the liveness machinery owns them now.
+      peer_degraded_[i] = 0;
+      continue;
+    }
+    if (peer_degraded_[i] == 0) {
+      if (peer_health_[i] > flag_at) {
+        peer_degraded_[i] = 1;
+        if (ctx_.faults != nullptr) ctx_.faults->note_gray_degraded(p, id_, now);
+      }
+    } else if (peer_health_[i] < unflag_at) {
+      peer_degraded_[i] = 0;
+      if (ctx_.faults != nullptr) ctx_.faults->note_gray_recovered(p, now);
+    }
+  }
 }
 
 void MdsNode::bump_subtree_load(const FsNode* node) {
@@ -144,7 +220,14 @@ void MdsNode::maybe_rebalance() {
   if (!ctx_.traits.load_balancing) return;
   if (outbound_ != nullptr) return;
   const SimTime now = ctx_.sim.now();
-  if (now - last_migration_ < ctx_.params.migration_cooldown) return;
+  // A node that has flagged *itself* gray volunteers load away on a much
+  // shorter cooldown: the anti-thrash pause is tuned for load spikes, not
+  // for evacuating a sick node round after round.
+  const bool health_on = ctx_.params.health.enabled;
+  const bool volunteer = health_on && self_degraded();
+  const SimTime cooldown = volunteer ? ctx_.params.health.volunteer_cooldown
+                                     : ctx_.params.migration_cooldown;
+  if (now - last_migration_ < cooldown) return;
 
   // Mean over the nodes believed alive: a dead peer's sentinel load must
   // not freeze the balancer for the whole outage.
@@ -159,14 +242,24 @@ void MdsNode::maybe_rebalance() {
   if (alive == 0) return;
   mean /= static_cast<double>(alive);
   if (mean < 1.0) return;  // idle cluster
-  if (last_load_ <= ctx_.params.balance_trigger * mean) return;
+  // A volunteer also triggers at a much lower load threshold: its
+  // throughput-based load metric is already sagging (it serves less while
+  // its queues grow), so waiting for the ordinary over-mean trigger would
+  // keep the territory pinned to the sick node.
+  const double trigger =
+      volunteer ? ctx_.params.health.volunteer_trigger : ctx_.params.balance_trigger;
+  if (last_load_ <= trigger * mean) return;
 
-  // Busiest node ships work to the least-busy below-target node.
+  // Busiest node ships work to the least-busy below-target node. Gray
+  // peers are never targets: a fail-slow node's throughput collapse makes
+  // it *look* underloaded, so without the health veto the balancer would
+  // steer the cluster's work straight at the sick node.
   MdsId target = kInvalidMds;
   double target_load = ctx_.params.balance_target * mean;
   for (MdsId peer = 0; peer < ctx_.num_mds; ++peer) {
     if (peer == id_) continue;
     if (peer_alive_[static_cast<std::size_t>(peer)] == 0) continue;
+    if (health_on && peer_degraded(peer)) continue;
     if (peer_loads_[static_cast<std::size_t>(peer)] < target_load) {
       target = peer;
       target_load = peer_loads_[static_cast<std::size_t>(peer)];
@@ -174,10 +267,18 @@ void MdsNode::maybe_rebalance() {
   }
   if (target == kInvalidMds) return;
 
-  const double excess_fraction = (last_load_ - mean) / last_load_;
+  double excess_fraction = (last_load_ - mean) / last_load_;
+  // A volunteer wants out from under most of its territory, not just the
+  // sliver above the mean.
+  if (volunteer) excess_fraction = std::max(excess_fraction, 0.5);
   FsNode* root = pick_export_subtree(excess_fraction);
   if (root == nullptr) return;
-  begin_migration(root, target);
+  // A volunteer batches several subtrees into the one transaction: the
+  // intent journal append — multi-second on the very disk that made the
+  // node sick — is paid once per batch instead of once per subtree.
+  std::vector<FsNode*> extras;
+  if (volunteer) extras = pick_evacuation_extras(root);
+  begin_migration(root, target, std::move(extras));
 }
 
 FsNode* MdsNode::pick_export_subtree(double excess_fraction) {
@@ -250,6 +351,68 @@ FsNode* MdsNode::pick_export_subtree(double excess_fraction) {
     }
   }
   return best;
+}
+
+std::vector<FsNode*> MdsNode::pick_evacuation_extras(FsNode* primary) {
+  std::vector<FsNode*> extras;
+  const auto* subtree = dynamic_cast<const SubtreePartition*>(&ctx_.partition);
+  if (subtree == nullptr) return extras;
+  const SimTime now = ctx_.sim.now();
+
+  // Candidates from both pick_export_subtree phases: whole trees delegated
+  // to this node (by decayed per-delegation load) and hot cached
+  // authoritative directories (by traversal popularity). The weights are
+  // only compared within the list, so mixing the two scales is fine —
+  // both order "hot before cold".
+  std::vector<std::pair<FsNode*, double>> cands;
+  for (auto& [ino, counter] : subtree_load_) {
+    if (!imported_.count(ino) && subtree->delegation_at(ino) != id_) continue;
+    auto iit = imported_.find(ino);
+    if (iit != imported_.end() &&
+        now - iit->second < ctx_.params.min_subtree_residency) {
+      continue;  // freshly imported trees stay put (no ping-pong)
+    }
+    FsNode* n = ctx_.tree.by_ino(ino);
+    if (n == nullptr || n->parent() == nullptr) continue;
+    if (frozen_.count(ino)) continue;
+    cands.emplace_back(n, counter.get(now));
+  }
+  cache_.for_each([&](CacheEntry& e) {
+    if (!e.authoritative || !e.node->is_dir()) return;
+    if (e.node->parent() == nullptr) return;
+    const double pop = e.popularity.get(now);
+    if (pop < 1.0) return;
+    if (subtree->is_delegation_point(e.node)) return;  // listed above
+    if (subtree_frozen(e.node)) return;
+    cands.emplace_back(e.node, pop);
+  });
+  std::sort(cands.begin(), cands.end(),
+            [](const std::pair<FsNode*, double>& a,
+               const std::pair<FsNode*, double>& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first->ino() < b.first->ino();  // deterministic ties
+            });
+
+  // Greedy, hottest first, skipping anything nested inside (or enclosing)
+  // an already-picked root: exporting an ancestor covers the descendant,
+  // and double-freezing one path would wedge the unfreeze bookkeeping.
+  std::vector<FsNode*> picked{primary};
+  const std::size_t cap =
+      std::max<std::size_t>(ctx_.params.health.evacuation_max_roots, 1);
+  for (auto& [n, w] : cands) {
+    if (picked.size() >= cap) break;
+    bool overlaps = false;
+    for (FsNode* p : picked) {
+      if (n == p || FsTree::is_ancestor_of(p, n) ||
+          FsTree::is_ancestor_of(n, p)) {
+        overlaps = true;
+        break;
+      }
+    }
+    if (!overlaps) picked.push_back(n);
+  }
+  extras.assign(picked.begin() + 1, picked.end());
+  return extras;
 }
 
 }  // namespace mdsim

@@ -292,6 +292,7 @@ void MdsNode::shed_request(const ClientRequestMsg& msg, NetAddr reply_to,
   out->retry_after = ov.retry_after_base + cpu_.backlog();
   out->served_by = id_;
   out->hops = msg.hops;
+  out->hedge = msg.hedge;
   out->epoch = view_epoch_;
   ++stats_.rejects_sent;
   ctx_.net.send(id_, reply_to, std::move(out));
@@ -837,6 +838,7 @@ void MdsNode::reply(RequestPtr req, bool success, InodeId result_ino) {
   out->success = success;
   out->served_by = id_;
   out->hops = req->msg.hops;
+  out->hedge = req->msg.hedge;
   out->result_ino = result_ino;
   out->epoch = view_epoch_;
   if (success) fill_hints(req, *out);

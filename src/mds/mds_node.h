@@ -188,6 +188,14 @@ class MdsNode final : public NetEndpoint {
   /// heartbeat is silent — survivors detect the crash from the silence.
   void set_failed(bool failed) { failed_ = failed; }
   bool failed() const { return failed_; }
+  /// Fail-slow (gray failure) injection: scale this node's CPU and disk
+  /// service times. The node keeps serving — slowly — which is exactly
+  /// what makes gray failures harder than crashes: heartbeats still flow,
+  /// so liveness detection never fires. 1.0/1.0 restores full speed.
+  void set_fail_slow(double cpu_mult, double disk_mult) {
+    cpu_.set_service_time_multiplier(cpu_mult);
+    disk_.set_service_time_multiplier(disk_mult);
+  }
   /// Survivors stop considering a downed peer as a migration target.
   void mark_peer_down(MdsId peer);
   void mark_peer_up(MdsId peer);
@@ -211,6 +219,26 @@ class MdsNode final : public NetEndpoint {
     return peer >= 0 && static_cast<std::size_t>(peer) < peer_alive_.size() &&
            peer_alive_[static_cast<std::size_t>(peer)] != 0;
   }
+  // ---- gray-failure health scoring (balancer.cc) ---------------------------
+  /// Health score this node holds for `peer`, in ns of estimated lag
+  /// (EWMA of the peer's self-reported service lag plus the heartbeat
+  /// one-way delay). 0.0 until a scored heartbeat has arrived.
+  double peer_health(MdsId peer) const {
+    return peer >= 0 && static_cast<std::size_t>(peer) < peer_health_.size()
+               ? peer_health_[static_cast<std::size_t>(peer)]
+               : 0.0;
+  }
+  /// Does this node currently consider `peer` gray-degraded?
+  bool peer_degraded(MdsId peer) const {
+    return peer >= 0 &&
+           static_cast<std::size_t>(peer) < peer_degraded_.size() &&
+           peer_degraded_[static_cast<std::size_t>(peer)] != 0;
+  }
+  /// Has this node flagged *itself* (its own score crossed the threshold
+  /// in its view of the cluster)? Self-degraded nodes volunteer load away.
+  bool self_degraded() const { return peer_degraded(id_); }
+  /// Own smoothed service lag (ns) as stamped on outgoing heartbeats.
+  double self_health_lag() const { return svc_ewma_self_; }
   // ---- partition tolerance (recovery.cc) ----------------------------------
   /// Lease lost: writes are parked, migrations refused, reads served stale.
   bool fenced() const { return fenced_; }
@@ -468,15 +496,32 @@ class MdsNode final : public NetEndpoint {
   double compute_load();
   void handle_heartbeat(const HeartbeatMsg& m);
   void maybe_rebalance();
+  /// Gray-failure detection sweep, run on the heartbeat when
+  /// params.health.enabled: refresh the self-measured service lag EWMA,
+  /// then compare every alive peer's score against the cluster median and
+  /// flag/unflag with hysteresis (first detector opens the incident).
+  void health_tick(SimTime now);
   FsNode* pick_export_subtree(double excess_fraction);
+  /// Additional subtrees a self-degraded volunteer ships alongside the
+  /// primary pick, hottest first, non-overlapping, capped by
+  /// health.evacuation_max_roots. Empty for healthy-path balancing.
+  std::vector<FsNode*> pick_evacuation_extras(FsNode* primary);
   void bump_subtree_load(const FsNode* node);
 
   // ---- migration (migration.cc) ---------------------------------------------
   bool subtree_frozen(const FsNode* node) const;
   void defer(RequestPtr req);
   void flush_deferred();
-  void begin_migration(FsNode* root, MdsId target);
+  void begin_migration(FsNode* root, MdsId target,
+                       std::vector<FsNode*> extra_roots = {});
   void handle_migrate_prepare(NetAddr from, const MigratePrepareMsg& m);
+  /// Anchor the next unanchored extra root of the inbound batch (resuming
+  /// at InboundMigration::anchor_next); installs the items and acks once
+  /// every root is anchored. Any anchor failure fails the whole
+  /// transaction — the exporter keeps authority over every root, so a
+  /// partial install must never ack.
+  void continue_inbound_anchoring(std::uint64_t mig_id,
+                                  std::shared_ptr<std::vector<InodeId>> items);
   void handle_migrate_ack(NetAddr from, const MigrateAckMsg& m);
   void handle_migrate_commit(NetAddr from, const MigrateCommitMsg& m);
   void handle_migrate_abort(const MigrateAbortMsg& m);
@@ -606,6 +651,8 @@ class MdsNode final : public NetEndpoint {
   struct OutboundMigration {
     std::uint64_t id;
     InodeId root;
+    /// Extra subtree roots in the same transaction (volunteer evacuation).
+    std::vector<InodeId> extra_roots;
     MdsId target;
     std::vector<InodeId> items;
     SimTime deadline = 0;
@@ -617,6 +664,11 @@ class MdsNode final : public NetEndpoint {
     std::uint64_t id;
     MdsId exporter;
     InodeId root;
+    /// Extra subtree roots in the same transaction (volunteer evacuation).
+    std::vector<InodeId> extra_roots;
+    /// Next extra root whose prefix chain still needs anchoring (the
+    /// anchors may fetch, so the batch is walked asynchronously).
+    std::size_t anchor_next = 0;
     std::vector<InodeId> items;
     SimTime deadline = 0;
   };
@@ -635,6 +687,16 @@ class MdsNode final : public NetEndpoint {
   // dead peer from silence; the first heartbeat heard marks it back up).
   std::vector<std::uint8_t> peer_alive_;
   std::vector<SimTime> peer_last_hb_;
+
+  // Gray-failure health scores (empty vectors unless params.health.enabled;
+  // sized lazily on the first heartbeat tick so disabled runs allocate
+  // nothing). peer_health_[p] is the EWMA'd lag score for peer p (own
+  // slot scored from local backlog); peer_degraded_[p] is the hysteresis
+  // flag. svc_ewma_self_ is the self-measured service lag stamped on
+  // outgoing heartbeats.
+  std::vector<double> peer_health_;
+  std::vector<std::uint8_t> peer_degraded_;
+  double svc_ewma_self_ = 0.0;
 
   // Highest dirfrag-registry generation this node has applied (its own
   // transitions and notifies count only via the heartbeat catch-up; see

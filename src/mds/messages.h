@@ -51,6 +51,10 @@ struct ClientRequestMsg final : Message {
   /// Retry number (0 = fresh). Saturates at 255; the admission gate only
   /// distinguishes fresh from retried.
   std::uint8_t attempt = 0;
+  /// 1 on the backup copy of a hedged read (hedge_policy.h). Echoed on
+  /// the reply so the client can attribute which copy won; servers treat
+  /// both copies identically otherwise.
+  std::uint8_t hedge = 0;
   /// Client-side deadline (issue time + request timeout). A server past
   /// this time knows the client has already timed out and will discard
   /// the reply as stale — overload admission drops such requests instead
@@ -75,6 +79,8 @@ struct ClientReplyMsg final : Message {
   /// The server that ultimately served the request.
   MdsId served_by = kInvalidMds;
   std::uint8_t hops = 0;
+  /// Echo of ClientRequestMsg::hedge: this reply answers the backup copy.
+  std::uint8_t hedge = 0;
   /// Inode created/affected (so the client can learn about new items).
   InodeId result_ino = kInvalidInode;
   /// Server's partition-map epoch. A jump tells the client the authority
@@ -164,6 +170,13 @@ struct HeartbeatMsg final : Message {
   /// (re-runs drop_foreign_dentries over changed directories), healing
   /// DirFragNotify messages lost to link faults or partitions.
   std::uint64_t dirfrag_gen = 0;
+  /// Gray-failure health piggyback (zero extra events: these ride the
+  /// heartbeat that was going out anyway). `sent_at` lets the receiver
+  /// measure one-way delivery lag; `svc_lag` is the sender's self-measured
+  /// service backlog (CPU + store, ns). Both stay 0 unless
+  /// HealthParams::enabled, keeping healthy runs byte-identical.
+  SimTime sent_at = 0;
+  SimTime svc_lag = 0;
   bool lists_alive(MdsId id) const {
     const auto w = static_cast<std::size_t>(id) / 64;
     return w < alive_mask.size() &&
@@ -185,6 +198,10 @@ struct MigratePrepareMsg final : Message {
   /// parents-before-children so importer inserts preserve the cache tree
   /// invariant.
   std::vector<InodeId> items;
+  /// Additional subtree roots riding in the same transaction. Empty for
+  /// ordinary balancing; a self-degraded volunteer evacuates several
+  /// trees per journal round-trip (see HealthParams::evacuation_max_roots).
+  std::vector<InodeId> extra_roots;
 };
 
 struct MigrateAckMsg final : Message {

@@ -50,15 +50,28 @@ void MdsNode::flush_deferred() {
   }
 }
 
-void MdsNode::begin_migration(FsNode* root, MdsId target) {
+void MdsNode::begin_migration(FsNode* root, MdsId target,
+                              std::vector<FsNode*> extra_roots) {
   assert(outbound_ == nullptr);
   if (fenced_) return;  // no lease, no authority transfers
-  // Collect cached authoritative state under the subtree, parents first so
-  // the importer's inserts respect its cache tree invariant.
+  // Collect cached authoritative state under the batch's subtrees, parents
+  // first so the importer's inserts respect its cache tree invariant.
+  // (Ordinary balancing ships one subtree; a self-degraded volunteer rides
+  // several non-overlapping roots on the same transaction so the intent
+  // append below — queued on the very disk that made it sick — is paid
+  // once per batch.)
   std::vector<CacheEntry*> collected;
   cache_.for_each([&](CacheEntry& e) {
-    if (e.authoritative && FsTree::is_ancestor_of(root, e.node)) {
+    if (!e.authoritative) return;
+    if (FsTree::is_ancestor_of(root, e.node)) {
       collected.push_back(&e);
+      return;
+    }
+    for (FsNode* r : extra_roots) {
+      if (FsTree::is_ancestor_of(r, e.node)) {
+        collected.push_back(&e);
+        return;
+      }
     }
   });
   if (collected.size() < ctx_.params.min_migration_items) return;
@@ -70,16 +83,19 @@ void MdsNode::begin_migration(FsNode* root, MdsId target) {
   outbound_ = std::make_unique<OutboundMigration>();
   outbound_->id = next_migration_id_++;
   outbound_->root = root->ino();
+  for (FsNode* r : extra_roots) outbound_->extra_roots.push_back(r->ino());
   outbound_->target = target;
   outbound_->deadline = ctx_.sim.now() + ctx_.params.migration_timeout;
   outbound_->items.reserve(collected.size());
   for (CacheEntry* e : collected) outbound_->items.push_back(e->node->ino());
 
   frozen_.insert(root->ino());
+  for (FsNode* r : extra_roots) frozen_.insert(r->ino());
 
   auto msg = std::make_unique<MigratePrepareMsg>();
   msg->migration_id = outbound_->id;
   msg->subtree_root = outbound_->root;
+  msg->extra_roots = outbound_->extra_roots;
   msg->epoch = view_epoch_;
   msg->items = outbound_->items;
   msg->size_bytes =
@@ -91,6 +107,7 @@ void MdsNode::begin_migration(FsNode* root, MdsId target) {
   // map, which only flips at the commit point below).
   const std::uint64_t mig_id = outbound_->id;
   journal_.append(outbound_->root);
+  for (InodeId r : outbound_->extra_roots) journal_.append(r);
   const MdsId target_copy = target;
   disk_.journal_append([this, mig_id, target_copy, m = std::move(msg)]() mutable {
     if (outbound_ == nullptr || outbound_->id != mig_id) return;  // aborted
@@ -150,6 +167,7 @@ void MdsNode::handle_migrate_prepare(NetAddr from, const MigratePrepareMsg& m) {
   inbound_->id = mig_id;
   inbound_->exporter = exporter;
   inbound_->root = m.subtree_root;
+  inbound_->extra_roots = m.extra_roots;
   inbound_->items = m.items;
   inbound_->deadline = ctx_.sim.now() + ctx_.params.migration_timeout;
 
@@ -178,33 +196,77 @@ void MdsNode::handle_migrate_prepare(NetAddr from, const MigratePrepareMsg& m) {
     }
     // Anchor the subtree root's prefix inodes (the per-delegation overhead
     // the paper notes: "the authority must cache the containing directory
-    // (prefix) inodes for each of its subtrees"), then install the
-    // transferred state.
+    // (prefix) inodes for each of its subtrees"), then walk any batch
+    // extras' anchors, then install the transferred state (see
+    // continue_inbound_anchoring).
     insert_with_prefixes(
         root, InsertKind::kDemand, /*authoritative=*/true,
-        /*have_payload=*/true,
-        [this, mig_id, items, root_ino, send_ack](CacheEntry* anchor) {
+        /*have_payload=*/true, [this, mig_id, items](CacheEntry* anchor) {
           if (inbound_ == nullptr || inbound_->id != mig_id) return;
           if (anchor == nullptr) {
+            auto send_ack = [this, exporter = inbound_->exporter,
+                             mig_id](bool ok) {
+              auto ack = std::make_unique<MigrateAckMsg>();
+              ack->migration_id = mig_id;
+              ack->accepted = ok;
+              ack->epoch = view_epoch_;
+              ctx_.net.send(id_, exporter, std::move(ack));
+            };
             inbound_done_[inbound_->exporter] =
                 std::max(inbound_done_[inbound_->exporter], mig_id);
             inbound_.reset();
             send_ack(false);
             return;
           }
-          std::uint64_t installed = 0;
-          for (InodeId ino : *items) {
-            if (ino == root_ino) continue;  // anchored above
-            FsNode* n = ctx_.tree.by_ino(ino);
-            if (n == nullptr) continue;  // unlinked in flight
-            cache_insert_anchored(n, InsertKind::kDemand,
-                                  /*authoritative=*/true);
-            ++installed;
-          }
-          stats_.items_migrated_in += installed;
-          send_ack(true);
+          continue_inbound_anchoring(mig_id, items);
         });
   });
+}
+
+void MdsNode::continue_inbound_anchoring(
+    std::uint64_t mig_id, std::shared_ptr<std::vector<InodeId>> items) {
+  if (inbound_ == nullptr || inbound_->id != mig_id) return;
+  auto send_ack = [this, exporter = inbound_->exporter, mig_id](bool ok) {
+    auto ack = std::make_unique<MigrateAckMsg>();
+    ack->migration_id = mig_id;
+    ack->accepted = ok;
+    ack->epoch = view_epoch_;
+    ctx_.net.send(id_, exporter, std::move(ack));
+  };
+  while (inbound_->anchor_next < inbound_->extra_roots.size()) {
+    const InodeId rino = inbound_->extra_roots[inbound_->anchor_next];
+    ++inbound_->anchor_next;
+    FsNode* r = ctx_.tree.by_ino(rino);
+    if (r == nullptr) continue;  // whole tree unlinked in flight
+    insert_with_prefixes(
+        r, InsertKind::kDemand, /*authoritative=*/true, /*have_payload=*/true,
+        [this, mig_id, items, send_ack](CacheEntry* a) {
+          if (inbound_ == nullptr || inbound_->id != mig_id) return;
+          if (a == nullptr) {
+            inbound_done_[inbound_->exporter] =
+                std::max(inbound_done_[inbound_->exporter], mig_id);
+            inbound_.reset();
+            send_ack(false);
+            return;
+          }
+          continue_inbound_anchoring(mig_id, items);
+        });
+    return;  // resumes from the anchor's callback
+  }
+  // Every root anchored: install the transferred items under them.
+  std::unordered_set<InodeId> anchored(inbound_->extra_roots.begin(),
+                                       inbound_->extra_roots.end());
+  anchored.insert(inbound_->root);
+  std::uint64_t installed = 0;
+  for (InodeId ino : *items) {
+    if (anchored.count(ino)) continue;  // anchored above
+    FsNode* n = ctx_.tree.by_ino(ino);
+    if (n == nullptr) continue;  // unlinked in flight
+    cache_insert_anchored(n, InsertKind::kDemand, /*authoritative=*/true);
+    ++installed;
+  }
+  stats_.items_migrated_in += installed;
+  send_ack(true);
 }
 
 void MdsNode::handle_migrate_ack(NetAddr from, const MigrateAckMsg& m) {
@@ -219,26 +281,34 @@ void MdsNode::handle_migrate_ack(NetAddr from, const MigrateAckMsg& m) {
   OutboundMigration mig = *outbound_;
   outbound_.reset();
   frozen_.erase(mig.root);
+  for (InodeId r : mig.extra_roots) frozen_.erase(r);
 
   if (!m.accepted) {
     flush_deferred();
     return;
   }
 
-  // Commit point: authority flips cluster-wide.
-  FsNode* root = ctx_.tree.by_ino(mig.root);
-  if (root != nullptr) {
-    auto* subtree =
-        dynamic_cast<SubtreePartition*>(&ctx_.partition);
-    assert(subtree != nullptr && "migration requires a subtree partition");
-    subtree->delegate(root, mig.target);
-  }
-  imported_.erase(mig.root);
-  subtree_load_.erase(mig.root);
+  // Commit point: authority flips cluster-wide — the whole batch at once
+  // (the importer acked only after anchoring and installing every root).
+  std::vector<InodeId> roots;
+  roots.reserve(1 + mig.extra_roots.size());
+  roots.push_back(mig.root);
+  for (InodeId r : mig.extra_roots) roots.push_back(r);
+  for (InodeId rino : roots) {
+    FsNode* root = ctx_.tree.by_ino(rino);
+    if (root != nullptr) {
+      auto* subtree =
+          dynamic_cast<SubtreePartition*>(&ctx_.partition);
+      assert(subtree != nullptr && "migration requires a subtree partition");
+      subtree->delegate(root, mig.target);
+    }
+    imported_.erase(rino);
+    subtree_load_.erase(rino);
 
-  // Journal the completion (supersedes the intent record in the bounded
-  // log: a restart replays at most one live record for this root).
-  journal_.append(mig.root);
+    // Journal the completion (supersedes the intent record in the bounded
+    // log: a restart replays at most one live record per root).
+    journal_.append(rino);
+  }
 
   // Drop exported copies (children first) and clean up third-party
   // replica registrations for the items we no longer own.
@@ -298,6 +368,7 @@ void MdsNode::abort_outbound_migration() {
   OutboundMigration mig = *outbound_;
   outbound_.reset();
   frozen_.erase(mig.root);
+  for (InodeId r : mig.extra_roots) frozen_.erase(r);
   ++stats_.migrations_aborted;
 
   // Safe unilaterally: the partition map never flipped, so this node never
@@ -325,6 +396,9 @@ void MdsNode::resolve_inbound_migration() {
   if (committed) {
     ++stats_.migrations_in;
     imported_[in->root] = ctx_.sim.now();
+    // Batch extras flipped atomically with the primary at the exporter's
+    // commit point; stamp them too so min_subtree_residency covers them.
+    for (InodeId r : in->extra_roots) imported_[r] = ctx_.sim.now();
     return;
   }
 

@@ -11,6 +11,40 @@
 
 namespace mdsim {
 
+/// Gray-failure detection knobs (see MdsParams::health below). Thresholds
+/// are deliberately relative — a gray node is one that is slow *compared
+/// to its peers*, not one that crosses an absolute constant — with a small
+/// absolute floor so an idle cluster never flags anyone.
+struct HealthParams {
+  /// Master switch. Off: no EWMA updates, no flags, no balancer bias —
+  /// the healthy path is byte-identical to a build without the layer.
+  bool enabled = false;
+  /// EWMA weight for new health samples (per heartbeat period).
+  double alpha = 0.3;
+  /// A peer is degraded when its score exceeds the alive-peer median by
+  /// this factor...
+  double degraded_factor = 4.0;
+  /// ...and recovers once back under this factor (hysteresis;
+  /// must be < degraded_factor).
+  double recovered_factor = 2.0;
+  /// Absolute score floor (ns of lag) below which no one is ever flagged,
+  /// regardless of relative spread.
+  SimTime min_lag = 2 * kMillisecond;
+  /// Self-detected degraded nodes volunteer load away once their load
+  /// exceeds this fraction of the cluster mean (vs balance_trigger for
+  /// healthy nodes).
+  double volunteer_trigger = 0.60;
+  /// Migration cooldown while self-degraded (vs migration_cooldown for
+  /// healthy nodes): a sick node sheds territory round after round
+  /// instead of waiting out the anti-thrash pause tuned for load spikes.
+  SimTime volunteer_cooldown = 1 * kSecond;
+  /// Max subtree roots a volunteer evacuates per migration transaction.
+  /// Batching matters because the exporter journals the migration intent
+  /// on the very disk that made it sick: one multi-second append buys the
+  /// whole batch instead of one subtree.
+  std::size_t evacuation_max_roots = 6;
+};
+
 struct MdsParams {
   // --- CPU ------------------------------------------------------------
   /// Base CPU service time to process one client request at the server.
@@ -116,6 +150,16 @@ struct MdsParams {
   /// sheds answer with explicit Rejected{retry_after} replies. Off by
   /// default: every fig run is byte-identical with the gate disabled.
   OverloadParams overload;
+
+  // --- Gray-failure health scoring (fail-slow detection) ------------------
+  /// Per-peer health scores: every heartbeat carries the sender's
+  /// self-measured service lag (CPU + store backlog) and a send
+  /// timestamp; receivers EWMA the one-way delivery lag and the reported
+  /// service lag into one score per peer, flag peers whose score crosses
+  /// degraded_factor × the cluster median, and deweight them as
+  /// balancing targets (a self-detecting node volunteers load away).
+  /// Off by default: no scoring, no flags, fig runs byte-identical.
+  HealthParams health;
 
   // --- Traffic control (dynamic subtree only) ----------------------------
   bool traffic_control_enabled = true;

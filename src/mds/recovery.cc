@@ -350,6 +350,11 @@ void MdsNode::restart() {
   std::fill(peer_last_hb_.begin(), peer_last_hb_.end(), now);
   std::fill(peer_loads_.begin(), peer_loads_.end(), 0.0);
   std::fill(peer_ack_time_.begin(), peer_ack_time_.end(), now);
+  // Health scores are pre-crash observations; start the gray-failure
+  // detector from scratch.
+  std::fill(peer_health_.begin(), peer_health_.end(), 0.0);
+  std::fill(peer_degraded_.begin(), peer_degraded_.end(), 0);
+  svc_ewma_self_ = 0.0;
   // A rebooting node fetches the current map from shared storage before
   // serving (the same place it reads its journal), so it rejoins at the
   // cluster's epoch rather than its pre-crash view.

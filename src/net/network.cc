@@ -24,6 +24,21 @@ const LinkFault* Network::link_fault(NetAddr a, NetAddr b) const {
   return it == link_faults_.end() ? nullptr : &it->second;
 }
 
+void Network::set_link_degrade(NetAddr a, NetAddr b,
+                               const LinkDegrade& degrade) {
+  assert(a != b);
+  link_degrades_[link_key(a, b)] = degrade;
+}
+
+void Network::clear_link_degrade(NetAddr a, NetAddr b) {
+  link_degrades_.erase(link_key(a, b));
+}
+
+const LinkDegrade* Network::link_degrade(NetAddr a, NetAddr b) const {
+  auto it = link_degrades_.find(link_key(a, b));
+  return it == link_degrades_.end() ? nullptr : &it->second;
+}
+
 NetAddr Network::attach(NetEndpoint* endpoint) {
   assert(endpoint != nullptr);
   endpoints_.push_back(endpoint);
@@ -167,11 +182,28 @@ void Network::send(NetAddr from, NetAddr to, MessagePtr msg) {
       }
     }
   }
+  // Sustained gray degradation: the lookup fires only while a degrade is
+  // installed somewhere; losses draw from the fault stream so the jitter
+  // sequence of healthy traffic is untouched.
+  const LinkDegrade* degrade = nullptr;
+  if (!link_degrades_.empty() && from != to) {
+    if ((degrade = link_degrade(from, to)) != nullptr) {
+      if (degrade->loss > 0 && fault_rng_.bernoulli(degrade->loss)) {
+        ++fault_counters_.degrade_dropped;
+        return;
+      }
+    }
+  }
   counts_[static_cast<std::size_t>(msg->type)]++;
 
   SimTime latency = 0;
   if (from != to) {
     latency = params_.base_latency + spike;
+    if (degrade != nullptr) {
+      latency = static_cast<SimTime>(static_cast<double>(latency) *
+                                     degrade->latency_factor) +
+                degrade->extra_latency;
+    }
     if (params_.jitter_mean > 0) {
       latency += static_cast<SimTime>(
           rng_.exponential(static_cast<double>(params_.jitter_mean)));

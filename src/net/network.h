@@ -57,6 +57,18 @@ struct LinkFault {
   SimTime spike_latency = 50 * kMillisecond;
 };
 
+/// Sustained gray degradation of a link: every message pays the inflated
+/// latency (and loss probability) for as long as the degrade is installed —
+/// unlike LinkFault's transient per-message spike lottery, this models a
+/// flaky NIC/cable that is *always* slow. Keyed symmetrically like
+/// LinkFault; the two compose. Same zero-cost-off contract: an empty
+/// degrade table adds one boolean check to the send path and nothing else.
+struct LinkDegrade {
+  double latency_factor = 1.0;  // multiplies the base latency
+  SimTime extra_latency = 0;    // flat addition on top
+  double loss = 0.0;            // P(message silently lost)
+};
+
 class Network {
  public:
   Network(Simulation& sim, NetworkParams params);
@@ -113,10 +125,17 @@ class Network {
   void clear_link_faults() { link_faults_.clear(); }
   const LinkFault* link_fault(NetAddr a, NetAddr b) const;
 
+  /// Install (or replace) a sustained degrade on the a<->b link; both
+  /// directions are affected. clear restores the link to nominal.
+  void set_link_degrade(NetAddr a, NetAddr b, const LinkDegrade& degrade);
+  void clear_link_degrade(NetAddr a, NetAddr b);
+  const LinkDegrade* link_degrade(NetAddr a, NetAddr b) const;
+
   struct FaultCounters {
     std::uint64_t dropped = 0;
     std::uint64_t duplicated = 0;
     std::uint64_t spiked = 0;
+    std::uint64_t degrade_dropped = 0;  // losses from sustained degrades
   };
   const FaultCounters& fault_counters() const { return fault_counters_; }
 
@@ -187,6 +206,7 @@ class Network {
   std::uint64_t partition_dropped_ = 0;
   std::array<std::uint64_t, kNumMsgTypes> counts_{};
   std::unordered_map<std::uint64_t, LinkFault> link_faults_;
+  std::unordered_map<std::uint64_t, LinkDegrade> link_degrades_;
   FaultCounters fault_counters_;
   /// Partition state: side_[addr] is the endpoint's group while a
   /// partition is active (unlisted endpoints sit in group 0).

@@ -8,6 +8,10 @@ QueueServer::QueueServer(Simulation& sim, std::string name)
     : sim_(sim), name_(std::move(name)) {}
 
 void QueueServer::submit(SimTime service_time, InlineTask done) {
+  if (rate_mult_ != 1.0) {
+    service_time =
+        static_cast<SimTime>(static_cast<double>(service_time) * rate_mult_);
+  }
   queue_.push_back(Job{service_time, sim_.now(), std::move(done)});
   backlog_ns_ += service_time;
   if (!busy_) start_next();
@@ -16,6 +20,10 @@ void QueueServer::submit(SimTime service_time, InlineTask done) {
 
 void QueueServer::submit(SimTime service_time, TraceSpan span,
                          InlineTask done) {
+  if (rate_mult_ != 1.0) {
+    service_time =
+        static_cast<SimTime>(static_cast<double>(service_time) * rate_mult_);
+  }
   SimTime enq = sim_.now();
   if (span.rec != nullptr) {
     spans_.push_back(span);

@@ -40,6 +40,15 @@ class QueueServer {
   /// (i.e. it does not consume server capacity; models e.g. bus latency).
   void set_access_latency(SimTime latency) { access_latency_ = latency; }
 
+  /// Fail-slow injection: multiply every subsequent job's service time by
+  /// `mult` (10.0 = ten times slower). Applied at submission so the
+  /// backlog accounting stays symmetric (`+=` at submit, `-=` at finish
+  /// see the same scaled value); jobs already queued keep their original
+  /// service times. At the default 1.0 the scaling branch is never taken
+  /// and the server is bit-identical to one without the knob.
+  void set_service_time_multiplier(double mult) { rate_mult_ = mult; }
+  double service_time_multiplier() const { return rate_mult_; }
+
   std::size_t queue_depth() const { return queue_.size() + (busy_ ? 1 : 0); }
   std::uint64_t jobs_completed() const { return completed_; }
 
@@ -90,6 +99,7 @@ class QueueServer {
   Simulation& sim_;
   std::string name_;
   SimTime access_latency_ = 0;
+  double rate_mult_ = 1.0;  // fail-slow service-time multiplier
   std::deque<Job> queue_;
   /// Spans of traced queued jobs, in submission order (same relative
   /// order as their kSpanBit-flagged entries in queue_).

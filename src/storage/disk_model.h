@@ -58,7 +58,21 @@ class DiskModel {
     return journal_.utilization(now);
   }
   std::size_t store_queue_depth() const { return store_.queue_depth(); }
+  /// Unfinished work (ns of service) queued at the metadata store — the
+  /// health layer's local disk-lag signal.
+  SimTime store_backlog() const { return store_.backlog(); }
   void reset_stats(SimTime now);
+
+  /// Fail-slow injection: both devices serve every subsequent job `mult`
+  /// times slower (1.0 restores nominal speed). Queued jobs keep their
+  /// original service times.
+  void set_service_time_multiplier(double mult) {
+    store_.set_service_time_multiplier(mult);
+    journal_.set_service_time_multiplier(mult);
+  }
+  double service_time_multiplier() const {
+    return store_.service_time_multiplier();
+  }
 
  private:
   SimTime transfer_time(std::uint32_t nodes) const;

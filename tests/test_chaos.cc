@@ -135,6 +135,96 @@ TEST_P(ChaosSweep, ScriptedFaultsNeverCorruptState) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSweep,
                          ::testing::Values(1u, 7u, 42u, 99u, 1234u));
 
+// Randomized chaos: FaultPlan::randomize composes a crash/restart pair,
+// a fail-slow window, a flaky link and a sustained lossy degrade from
+// one seeded stream. Whatever the draw, the invariants must hold at
+// every checkpoint, and after the last window closes (4/5 of the
+// duration) and the restart rejoins, the cluster must quiesce with no
+// request left in limbo: everything a client issued either completed,
+// failed, or is the one op legitimately in flight per client.
+class RandomChaosSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomChaosSweep, GeneratedPlansNeverCorruptOrLeakRequests) {
+  SimConfig cfg = chaos_config(GetParam());
+  cfg.num_clients = 90;
+  cfg.mds.health.enabled = true;  // detection races injection, by design
+  const SimTime dur = cfg.duration;
+  ClusterSim cluster(cfg);
+  cluster.run_until(0);
+  FaultPlan::randomize(GetParam(), cfg.num_mds, dur).arm(cluster);
+
+  for (SimTime t = 5 * kSecond; t <= dur; t += 5 * kSecond) {
+    cluster.run_until(t);
+    sweep_invariants(cluster, t);
+  }
+  // Quiesce past the migration watchdog horizon.
+  cluster.run_until(dur + 6 * kSecond);
+  for (int i = 0; i < cluster.num_mds(); ++i) {
+    EXPECT_EQ(cluster.mds(i).frozen_subtrees(), 0u) << i;
+    EXPECT_EQ(cluster.mds(i).deferred_requests(), 0u) << i;
+    EXPECT_FALSE(cluster.mds(i).failed()) << i;
+    EXPECT_EQ(cluster.mds(i).cpu().service_time_multiplier(), 1.0) << i;
+    EXPECT_EQ(cluster.mds(i).disk().service_time_multiplier(), 1.0) << i;
+  }
+  // No request outlives its deadline unanswered. ops_issued counts every
+  // attempt, so each issue must be accounted for by a success (ops_ok),
+  // a terminal failure (failure reply or budget-suppressed timeout —
+  // ops_failed covers both), a timeout re-issue (retries minus the
+  // suppressed ones), a rejection-driven re-issue (bounded by
+  // rejected_replies), or the single op a closed-loop client may still
+  // have in flight. Nothing vanishes into a dead or degraded node.
+  for (int c = 0; c < cluster.num_clients(); ++c) {
+    const ClientStats& s = cluster.client(c).stats();
+    ASSERT_GE(s.ops_issued, s.ops_ok + s.ops_failed) << c;
+    const std::uint64_t unresolved = s.ops_issued - s.ops_ok - s.ops_failed;
+    const std::uint64_t reissues =
+        (s.retries - s.retries_suppressed) + s.rejected_replies;
+    EXPECT_LE(unresolved, reissues + 1) << c;
+  }
+  // The generated schedule really injected something on every axis it
+  // scripts: a crash incident and a fail-slow window are logged.
+  EXPECT_FALSE(cluster.fault_log().incidents().empty());
+  const auto& fs = cluster.fault_log().fail_slow_incidents();
+  ASSERT_FALSE(fs.empty());
+  EXPECT_FALSE(fs.front().open);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomChaosSweep,
+                         ::testing::Values(3u, 11u, 77u));
+
+TEST(Chaos, SameSeedRandomizedPlanIsBitForBitReproducible) {
+  auto run = []() {
+    SimConfig cfg = chaos_config(11);
+    cfg.num_clients = 90;
+    cfg.mds.health.enabled = true;
+    ClusterSim cluster(cfg);
+    cluster.run_until(0);
+    FaultPlan::randomize(11, cfg.num_mds, cfg.duration).arm(cluster);
+    cluster.run_until(cfg.duration);
+
+    std::uint64_t completed = 0, failed = 0, retries = 0, stale = 0,
+                  hedges = 0;
+    for (int c = 0; c < cluster.num_clients(); ++c) {
+      const ClientStats& s = cluster.client(c).stats();
+      completed += s.ops_completed;
+      failed += s.ops_failed;
+      retries += s.retries;
+      stale += s.stale_replies;
+      hedges += s.hedges_fired;
+    }
+    const auto& fc = cluster.network().fault_counters();
+    return std::make_tuple(
+        completed, failed, retries, stale, hedges, fc.dropped,
+        fc.duplicated, fc.spiked, fc.degrade_dropped,
+        cluster.fault_log().gray_incidents().size(),
+        cluster.fault_log().gray_degraded_seconds(cfg.duration),
+        cluster.metrics().total_replies());
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a, b);
+}
+
 TEST(Chaos, SameSeedSamePlanIsBitForBitReproducible) {
   auto run = []() {
     ClusterSim cluster(chaos_config(42));
